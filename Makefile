@@ -1,0 +1,32 @@
+# iotlan — build/test/reproduce targets (stdlib-only Go module)
+
+GO ?= go
+
+.PHONY: all build vet test bench repro examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerate every table and figure (writes repro_output.txt).
+repro:
+	$(GO) run ./cmd/iotrepro -seed 7 -idle 45m -interactions 120 -households 3860 | tee repro_output.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/threatscan
+	$(GO) run ./examples/fingerprint
+	$(GO) run ./examples/honeypot
+
+clean:
+	rm -f test_output.txt bench_output.txt

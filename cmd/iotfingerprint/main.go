@@ -1,0 +1,33 @@
+// Command iotfingerprint runs the §6.3 household-fingerprinting analysis on
+// a synthetic crowdsourced dataset: identifier extraction from mDNS/SSDP
+// payloads, uniqueness and entropy per identifier combination (Table 2),
+// and device-identity inference accuracy (Appendix E).
+//
+// Usage:
+//
+//	iotfingerprint [-seed N] [-households 3860]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"iotlan/internal/analysis"
+	"iotlan/internal/inspector"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "generation seed")
+	households := flag.Int("households", 3860, "household count (paper: 3,860)")
+	flag.Parse()
+
+	ds := inspector.Generate(*seed, *households)
+	fmt.Printf("dataset: %d households, %d devices\n\n", len(ds.Households), ds.Devices())
+
+	rows := analysis.EntropyTable(ds)
+	fmt.Println("Table 2 — identifier exposure, uniqueness and entropy:")
+	fmt.Println(analysis.RenderEntropyTable(rows))
+
+	acc := inspector.Accuracy(ds)
+	fmt.Printf("device identity inference accuracy (Appendix E): %.1f%%\n", 100*acc)
+}

@@ -1,0 +1,119 @@
+// Command iotrepro regenerates every table and figure of the paper in one
+// run and prints them in paper order, with the headline metrics inline.
+//
+// Usage:
+//
+//	iotrepro [-seed N] [-idle 45m] [-interactions 120] [-households 3860]
+//	         [-apps 0] [-only "Figure 1"] [-pcap-dir DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"iotlan"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed (same seed → identical run)")
+	idle := flag.Duration("idle", 45*time.Minute, "idle capture window (paper: 5 days)")
+	interactions := flag.Int("interactions", 120, "scripted interactions (paper: 7,191)")
+	households := flag.Int("households", 3860, "crowdsourced households (paper: 3,860)")
+	apps := flag.Int("apps", 0, "max apps to execute (0 = all with local behaviour)")
+	only := flag.String("only", "", "run a single artifact (e.g. \"Figure 1\", \"Table 2\")")
+	pcapDir := flag.String("pcap-dir", "", "also dump per-device pcaps into this directory")
+	exportDir := flag.String("export", "", "also export datasets (scans, findings, exfiltration, …) as JSON into this directory")
+	flag.Parse()
+
+	s := iotlan.NewStudy(*seed)
+	s.IdleDuration = *idle
+	s.Interactions = *interactions
+	s.Households = *households
+	s.AppsToRun = *apps
+
+	start := time.Now()
+	var results []iotlan.Result
+	if *only != "" {
+		r, err := runOne(s, *only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		results = []iotlan.Result{r}
+	} else {
+		results = s.Everything()
+	}
+
+	for _, r := range results {
+		fmt.Printf("════════ %s ════════\n%s\n", r.ID, r.Rendered)
+		if len(r.Metrics) > 0 {
+			keys := make([]string, 0, len(r.Metrics))
+			for k := range r.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Println("metrics:")
+			for _, k := range keys {
+				fmt.Printf("  %-40s %.2f\n", k, r.Metrics[k])
+			}
+		}
+		fmt.Println()
+	}
+	if *exportDir != "" {
+		if err := s.Export(*exportDir); err != nil {
+			fmt.Fprintln(os.Stderr, "export:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("datasets exported to %s\n", *exportDir)
+	}
+	if *pcapDir != "" {
+		if err := s.WritePcaps(*pcapDir); err != nil {
+			fmt.Fprintln(os.Stderr, "pcap dump:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("per-device pcaps written to %s\n", *pcapDir)
+	}
+	fmt.Printf("lab: %s\nwall time: %s\n", s.Lab.Summary(), time.Since(start).Truncate(time.Millisecond))
+}
+
+func runOne(s *iotlan.Study, id string) (iotlan.Result, error) {
+	switch strings.ToLower(id) {
+	case "figure 1", "fig1":
+		return s.Figure1(), nil
+	case "figure 2", "fig2":
+		return s.Figure2(), nil
+	case "figure 3", "fig3":
+		return s.Figure3(), nil
+	case "figure 4", "fig4":
+		return s.Figure4(), nil
+	case "table 1", "tab1":
+		return s.Table1(), nil
+	case "table 2", "tab2":
+		return s.Table2(), nil
+	case "table 3", "tab3":
+		return s.Table3(), nil
+	case "table 4", "tab4":
+		return s.Table4(), nil
+	case "table 5", "tab5":
+		return s.Table5(), nil
+	case "ports":
+		return s.OpenPorts(), nil
+	case "intervals":
+		return s.Intervals(), nil
+	case "periodicity":
+		return s.Periodicity(), nil
+	case "vulns":
+		return s.VulnSummary(), nil
+	case "exfil":
+		return s.Exfiltration(), nil
+	case "honeypot":
+		return s.HoneypotReport(), nil
+	case "mitigations":
+		return s.Mitigations(), nil
+	}
+	return iotlan.Result{}, fmt.Errorf("unknown artifact %q", id)
+}

@@ -1,0 +1,97 @@
+package iotlan
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Export writes the study's datasets to dir as JSON, mirroring the paper's
+// artifact release: active-scan results, vulnerability findings, app
+// exfiltration records, the instrumented API-access log, the crowdsourced
+// corpus, honeypot events, and every experiment's headline metrics.
+// Pipelines that have not run are skipped.
+func (s *Study) Export(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, v interface{}) error {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return fmt.Errorf("export %s: %w", name, err)
+		}
+		return os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644)
+	}
+
+	if s.Lab != nil {
+		type deviceRow struct {
+			Name, Vendor, Model, Category, MAC, IP string
+		}
+		var rows []deviceRow
+		for _, d := range s.Lab.Devices {
+			rows = append(rows, deviceRow{
+				Name: d.Profile.Name, Vendor: d.Profile.Vendor, Model: d.Profile.Model,
+				Category: string(d.Profile.Category), MAC: d.MAC().String(), IP: d.IP().String(),
+			})
+		}
+		if err := write("devices.json", rows); err != nil {
+			return err
+		}
+	}
+	if s.Scans != nil {
+		if err := write("scans.json", s.Scans); err != nil {
+			return err
+		}
+	}
+	if s.Findings != nil {
+		if err := write("findings.json", s.Findings); err != nil {
+			return err
+		}
+	}
+	if s.AppRun != nil {
+		if err := write("exfiltration.json", s.AppRun.Records); err != nil {
+			return err
+		}
+		if err := write("api_access.json", s.AppRun.APILog); err != nil {
+			return err
+		}
+	}
+	if s.Inspector != nil {
+		if err := write("inspector.json", s.Inspector); err != nil {
+			return err
+		}
+	}
+	if s.Honeypot != nil {
+		if err := write("honeypot.json", s.Honeypot.Events); err != nil {
+			return err
+		}
+	}
+	// Headline metrics from whatever has been computed, in stable order.
+	metrics := map[string]map[string]float64{}
+	if s.passiveDone {
+		for _, r := range []Result{
+			s.Table3(), s.Figure1(), s.Figure2(), s.Figure3(),
+			s.Table1(), s.Intervals(), s.Periodicity(),
+		} {
+			metrics[r.ID] = r.Metrics
+		}
+	}
+	if s.Inspector != nil {
+		t2 := s.Table2()
+		metrics[t2.ID] = t2.Metrics
+		m := s.Mitigations()
+		metrics[m.ID] = m.Metrics
+	}
+	keys := make([]string, 0, len(metrics))
+	for k := range metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make(map[string]map[string]float64, len(metrics))
+	for _, k := range keys {
+		ordered[k] = metrics[k]
+	}
+	return write("metrics.json", ordered)
+}

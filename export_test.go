@@ -1,0 +1,72 @@
+package iotlan
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestExportWritesAllDatasets(t *testing.T) {
+	s := study(t)
+	dir := t.TempDir()
+	if err := s.Export(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"devices.json", "scans.json", "findings.json",
+		"exfiltration.json", "api_access.json", "inspector.json",
+		"honeypot.json", "metrics.json",
+	}
+	for _, name := range want {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		var v interface{}
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Errorf("%s: invalid JSON: %v", name, err)
+		}
+	}
+
+	// devices.json carries the full inventory.
+	var devices []map[string]string
+	data, _ := os.ReadFile(filepath.Join(dir, "devices.json"))
+	if err := json.Unmarshal(data, &devices); err != nil {
+		t.Fatal(err)
+	}
+	if len(devices) != 93 {
+		t.Fatalf("exported %d devices", len(devices))
+	}
+
+	// metrics.json includes the headline experiments.
+	var metrics map[string]map[string]float64
+	data, _ = os.ReadFile(filepath.Join(dir, "metrics.json"))
+	if err := json.Unmarshal(data, &metrics); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"Figure 1", "Figure 2", "Table 2", "§7 mitigations"} {
+		if len(metrics[id]) == 0 {
+			t.Errorf("metrics.json lacks %s", id)
+		}
+	}
+}
+
+func TestExportOnEmptyStudySkipsGracefully(t *testing.T) {
+	s := NewStudy(99)
+	dir := t.TempDir()
+	if err := s.Export(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Only metrics.json (empty) should exist.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 || entries[0].Name() != "metrics.json" {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("unexpected exports: %v", names)
+	}
+}

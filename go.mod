@@ -1,0 +1,3 @@
+module iotlan
+
+go 1.22

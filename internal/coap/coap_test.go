@@ -1,0 +1,69 @@
+package coap
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestGETRoundTrip(t *testing.T) {
+	m := NewGET(42, "/oic/res")
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Code != CodeGET || got.MessageID != 42 {
+		t.Fatalf("header: %+v", got)
+	}
+	if got.Path() != "/oic/res" {
+		t.Fatalf("path %q", got.Path())
+	}
+}
+
+func TestContentResponse(t *testing.T) {
+	req := NewGET(7, "/oic/res")
+	req.Token = []byte{0xde, 0xad}
+	resp := NewContent(req, []byte(`[{"href":"/oic/d"}]`))
+	got, err := Unmarshal(resp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Code != CodeContent || got.MessageID != 7 {
+		t.Fatalf("response header: %+v", got)
+	}
+	if !bytes.Equal(got.Token, req.Token) {
+		t.Fatalf("token %x", got.Token)
+	}
+	if !bytes.Equal(got.Payload, []byte(`[{"href":"/oic/d"}]`)) {
+		t.Fatalf("payload %q", got.Payload)
+	}
+}
+
+func TestLongPathSegments(t *testing.T) {
+	m := NewGET(1, "/a-fairly-long-path-segment-over-twelve-bytes/second")
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.URIPath) != 2 || got.URIPath[0] != "a-fairly-long-path-segment-over-twelve-bytes" {
+		t.Fatalf("path: %v", got.URIPath)
+	}
+}
+
+func TestUnmarshalRejects(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2}); err == nil {
+		t.Fatal("short accepted")
+	}
+	bad := NewGET(1, "/x").Marshal()
+	bad[0] = 0x80 // version 2
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(data []byte) bool { Unmarshal(data); return true }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,803 @@
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"iotlan/internal/netx"
+	"iotlan/internal/ssdp"
+	"iotlan/internal/tlsx"
+)
+
+// Catalog returns the full MonIoTr testbed inventory: 93 devices across
+// 78 unique vendor/model combinations, grouped per Table 3, with behaviour
+// profiles encoding the protocol observations of §4 and §5.
+func Catalog() []*Profile {
+	var ps []*Profile
+	add := func(p *Profile) { ps = append(ps, p) }
+
+	// --- Voice assistants (28) ---------------------------------------------
+	echoModels := []string{
+		"Echo Spot", "Echo Spot", "Echo Show 5", "Echo Show 5",
+		"Echo Dot 3", "Echo Dot 3", "Echo Dot 4", "Echo Dot 4",
+		"Echo Plus", "Echo Plus", "Echo Studio", "Echo Flex",
+		"Echo Dot 3", "Echo 2", "Echo 2", "Echo Flex",
+	}
+	for i, model := range echoModels {
+		add(echoSpeaker(i+1, model))
+	}
+	add(homePod(1, "HomePod Mini", true))
+	add(homePod(2, "HomePod Mini", true))
+	add(homePod(3, "HomePod", false))
+	add(metaPortal())
+	googleModels := []string{
+		"Home Mini", "Home Mini", "Nest Hub", "Nest Hub Max",
+		"Nest Mini", "Nest Mini", "Home",
+	}
+	for i, model := range googleModels {
+		add(googleSpeaker(i+1, model))
+	}
+
+	// --- Surveillance (19) ---------------------------------------------------
+	add(amcrestCam())
+	add(camera("arlo-cam-1", "Arlo", "Pro 3", netx.OUI{0xd4, 0x81, 0xd7}, false))
+	add(camera("arlo-cam-2", "Arlo", "Pro 3", netx.OUI{0xd4, 0x81, 0xd7}, false))
+	add(camera("blink-cam", "Blink", "Outdoor", netx.OUI{0x74, 0xc2, 0x46}, false))
+	add(dlinkCam())
+	add(nestCam(1))
+	add(nestCam(2))
+	add(cheapCam("icsee-cam", "ICSee", "X5", netx.OUI{0x9c, 0xa5, 0x25}, 23))
+	add(lefunCam())
+	add(microsevenCam())
+	add(ringCam(1, "Stick Up Cam"))
+	add(ringCam(2, "Stick Up Cam"))
+	add(ringCam(3, "Spotlight Cam"))
+	add(ringDoorbell())
+	add(tuyaCam())
+	add(cheapCam("ubell-doorbell", "Ubell", "WiFi Doorbell", netx.OUI{0x38, 0x1f, 0x8d}, 2323))
+	add(cheapCam("wansview-cam", "Wansview", "Q5", netx.OUI{0x78, 0xa5, 0xdd}, 0))
+	add(camera("wyze-cam", "Wyze", "Cam v3", netx.OUI{0x2c, 0xaa, 0x8e}, true))
+	add(camera("yi-cam", "Yi", "Home Camera", netx.OUI{0x0c, 0x8c, 0x24}, true))
+
+	// --- Media/TV (7) --------------------------------------------------------
+	add(fireTV())
+	add(appleTV())
+	add(chromecast())
+	add(lgTV())
+	add(rokuTV())
+	add(samsungTV())
+	add(tivoStream())
+
+	// --- Home automation (22) ------------------------------------------------
+	add(amazonPlug())
+	add(hub("aqara-hub", "Aqara", "Hub M2", netx.OUI{0x54, 0xef, 0x44}, PlatformHomeKit))
+	add(nestThermostat())
+	add(hub("ikea-gateway", "IKEA", "Tradfri Gateway", netx.OUI{0x1a, 0x11, 0x30}, PlatformNone))
+	add(plug("lg-plug", "LG", "Smart Plug", netx.OUI{0x88, 0x36, 0x6c}, PlatformNone))
+	add(plug("magichome-strip", "MagicHome", "LED Strip", netx.OUI{0x60, 0x01, 0x94}, PlatformTuya))
+	add(merossPlug(1, "MSS110"))
+	add(merossPlug(2, "MSS110"))
+	add(merossPlug(3, "MSS210"))
+	add(hueHub())
+	add(ringChime())
+	add(hub("sengled-hub", "Sengled", "Smart Hub", netx.OUI{0xb0, 0xce, 0x18}, PlatformNone))
+	add(smartThingsHub())
+	add(hub("switchbot-hub", "SwitchBot", "Hub Mini", netx.OUI{0xc0, 0x97, 0x27}, PlatformAlexa))
+	add(tplinkPlug())
+	add(tplinkBulb())
+	add(tuyaDevice("tuya-plug-1", "Tuya", "Smart Plug", false))
+	add(tuyaDevice("tuya-bulb-jinvoo", "Jinvoo", "Smart Bulb", true)) // 3.1: plaintext keys
+	add(tuyaDevice("tuya-strip", "Tuya", "Light Strip", false))
+	add(wemoPlug())
+	add(plug("wiz-bulb", "Wiz", "A60 Bulb", netx.OUI{0x44, 0x4f, 0x8e}, PlatformNone))
+	add(plug("yeelight-bulb", "Yeelight", "Color Bulb", netx.OUI{0x78, 0x11, 0xdc}, PlatformNone))
+
+	// --- Home appliances (10) ------------------------------------------------
+	add(appliance("anova-cooker", "Anova", "Precision Cooker", netx.OUI{0xcc, 0x50, 0xe3}))
+	add(appliance("behmor-brewer", "Behmor", "Connected Brewer", netx.OUI{0x94, 0x10, 0x3e}))
+	add(blueairPurifier())
+	add(geMicrowave())
+	add(appliance("lg-dishwasher", "LG", "Smart Dishwasher", netx.OUI{0x00, 0x12, 0xfb}))
+	add(samsungFridge())
+	add(appliance("samsung-washer", "Samsung", "Smart Washer", netx.OUI{0x28, 0x6d, 0x97}))
+	add(appliance("samsung-dryer", "Samsung", "Smart Dryer", netx.OUI{0x28, 0x6d, 0x97}))
+	add(appliance("smarter-coffee", "Smarter", "Coffee 2", netx.OUI{0x5c, 0xcf, 0x7f}))
+	add(appliance("xiaomi-cooker", "Xiaomi", "Rice Cooker", netx.OUI{0x7c, 0x49, 0xeb}))
+
+	// --- Generic IoT (7) -------------------------------------------------------
+	add(sensor("keyco-air", "Keyco", "Air Quality", netx.OUI{0x84, 0x0d, 0x8e}))
+	add(sensor("oxylink-oximeter", "Oxylink", "Oximeter", netx.OUI{0xec, 0xfa, 0xbc}))
+	add(sensor("renpho-scale", "Renpho", "Smart Scale", netx.OUI{0x10, 0x2c, 0x6b}))
+	add(tuyaSensor())
+	add(withings("withings-scale", "Body+ Scale"))
+	add(withings("withings-sleep", "Sleep Mat"))
+	add(withings("withings-bpm", "BPM Connect"))
+
+	// --- Game console (1) -------------------------------------------------------
+	add(nintendoSwitch())
+
+	return ps
+}
+
+// ouiFor cycles plausible per-vendor OUI prefixes.
+func amazonOUI(i int) netx.OUI {
+	ouis := []netx.OUI{{0xfc, 0x65, 0xde}, {0x44, 0x00, 0x49}, {0x74, 0x75, 0x48}, {0x38, 0xf7, 0x3d}, {0x0c, 0x47, 0xc9}}
+	return ouis[i%len(ouis)]
+}
+
+func googleOUI(i int) netx.OUI {
+	ouis := []netx.OUI{{0x1c, 0x53, 0xf9}, {0x54, 0x60, 0x09}, {0x48, 0xd6, 0xd5}, {0x20, 0xdf, 0xb9}}
+	return ouis[i%len(ouis)]
+}
+
+func echoSpeaker(i int, model string) *Profile {
+	p := &Profile{
+		Name: fmt.Sprintf("echo-%d", i), Vendor: "Amazon", Model: model,
+		Category: VoiceAssistant, Platform: PlatformAlexa, OUI: amazonOUI(i),
+		HostnameKind:    HostnameVendorTail,
+		DisplayName:     fmt.Sprintf("%s %d", model, i),
+		DHCPVendorClass: "dhcpcd-6.8.2:Linux-3.14.29", // old client (§5.1)
+		DHCPParams:      []uint8{1, 3, 6, 12, 15, 28, 42, 69, 5, 17},
+		IPv6:            true, EAPOL: true, RespondsToScans: true,
+		ARP: &ARPBehaviour{SweepInterval: 24 * time.Hour, UnicastProbes: true},
+		MDNS: &MDNSBehaviour{
+			Services: []ServiceSpec{
+				{InstancePattern: "{display}", Type: "_amzn-wplay._tcp.local", Port: 55443,
+					TXT: []string{"n={display}", "u={uuid}", "a={MAC}"}},
+				{InstancePattern: "{display}", Type: "_amzn-alexa._tcp.local", Port: 40317,
+					TXT: []string{"dn={display}", "u={uuid}"}},
+				// Matter commissionable discovery: the instance name IS the
+				// MAC, as the spec mandates and §7 criticises.
+				{InstancePattern: "{MAC}", Type: "_matterc._udp.local", Port: 5540,
+					TXT: []string{"D=3840", "VP=4631+1", "CM=1", "DN={display}", "PH=33"}},
+			},
+			QueryTypes:       []string{"_amzn-wplay._tcp.local", "_spotify-connect._tcp.local", "_matter._tcp.local"},
+			QueryInterval:    40 * time.Second, // 20–100 s band (§5.1)
+			AnnounceInterval: 5 * time.Minute,
+			AnswerUnicast:    i%5 == 0,
+		},
+		SSDP: &SSDPBehaviour{
+			Ads:            []ssdp.Advertisement{{Target: ssdp.TargetRootDevice}},
+			SearchTargets:  []string{ssdp.TargetAll, ssdp.TargetRootDevice}, // generic searches (§5.1)
+			SearchInterval: 150 * time.Minute,                               // 2–3 h (§5.1)
+			AnswersSearch:  false,
+			UPnPVersion:    "1.0",
+		},
+		TPLink:  &TPLinkSpec{Discover: true, DiscoverInterval: time.Hour},
+		RTPPort: 55444,
+		HTTP: []HTTPSpec{{Port: 55442, Banner: "AmazonDeviceHTTP/1.1",
+			Paths: map[string]string{"/audio/cache": "cached-audio-segment"}}},
+		TLS: []TLSSpec{{Port: 55443, Version: tlsx.VersionTLS12, TwoWay: true,
+			Cert: tlsx.CertMeta{IssuerCN: "192.168.10.0", SubjectCN: "0.0.0.0", SelfSigned: true,
+				KeyBits:   128,
+				NotBefore: time.Date(2022, 10, 1, 0, 0, 0, 0, time.UTC),
+				NotAfter:  time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)}}}, // 3-month validity (§5.2)
+		ExtraTCP:  []uint16{4070},
+		LifxQuirk: true,
+	}
+	return p
+}
+
+func googleSpeaker(i int, model string) *Profile {
+	isHub := model == "Nest Hub" || model == "Nest Hub Max"
+	p := &Profile{
+		Name: fmt.Sprintf("google-%d", i), Vendor: "Google", Model: model,
+		Category: VoiceAssistant, Platform: PlatformGoogleHome, OUI: googleOUI(i),
+		HostnameKind:    HostnameDisplay,
+		DisplayName:     fmt.Sprintf("Jane Doe's %s", model), // user-defined (§5.1)
+		DHCPVendorClass: "dhcpcd-5.5.6",
+		DHCPParams:      []uint8{1, 3, 6, 12, 15, 28, 33, 42},
+		IPv6:            true, EAPOL: true, RespondsToScans: true,
+		MDNS: &MDNSBehaviour{
+			Services: []ServiceSpec{
+				{InstancePattern: "{display}", Type: "_googlecast._tcp.local", Port: 8009,
+					TXT: []string{"id={uuid}", "md={model}", "fn={display}", "bs={MAC}"}},
+				{InstancePattern: "{display}", Type: "_googlezone._tcp.local", Port: 10001,
+					TXT: []string{"id={uuid}"}},
+			},
+			QueryTypes:       []string{"_googlecast._tcp.local", "_googlezone._tcp.local", "_spotify-connect._tcp.local"},
+			QueryInterval:    20 * time.Second, // §5.1: every ~20 s
+			AnnounceInterval: 2 * time.Minute,
+			AnswerUnicast:    true,
+		},
+		SSDP: &SSDPBehaviour{
+			Ads:            []ssdp.Advertisement{{Target: ssdp.TargetDial}},
+			SearchTargets:  []string{ssdp.TargetDial, ssdp.TargetMediaRender}, // specific (§5.1)
+			SearchInterval: 20 * time.Second,
+			NotifyInterval: 10 * time.Minute,
+			AnswersSearch:  isHub, // the two Nest hubs answer (Chromecast built-in)
+			DescriptionXML: isHub,
+			UPnPVersion:    "1.1",
+		},
+		TPLink:  &TPLinkSpec{Discover: true, DiscoverInterval: 2 * time.Hour},
+		RTPPort: 10002,
+		HTTP: []HTTPSpec{{Port: 8008, Banner: "Chromecast/1.56.281627 Linux/4.9.113",
+			UserAgent: "Chromecast OS/1.56 CrKey/1.56.500000",
+			Paths:     map[string]string{"/setup/eureka_info": `{"name":"{display}","mac":"{MAC}"}`}}},
+		TLS: []TLSSpec{{Port: 8009, Version: tlsx.VersionTLS12,
+			Cert: tlsx.CertMeta{IssuerCN: "Google Cast Root CA", SubjectCN: "{ip}",
+				KeyBits:   96, // 64–122-bit key → CVE-2016-2183 (§5.2)
+				NotBefore: time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC),
+				NotAfter:  time.Date(2042, 1, 1, 0, 0, 0, 0, time.UTC)}}}, // 20-year leaf
+		Vulns: []Vulnerability{{ID: "CVE-2016-2183", Port: 8009,
+			Summary: "TLS service uses a small encryption key enabling birthday attacks"}},
+	}
+	if isHub {
+		p.ICMPv6ProbeCount = 2597 // Nest Hub's multicast ICMPv6 probes (§5.1)
+	}
+	return p
+}
+
+func homePod(i int, model string, mini bool) *Profile {
+	p := &Profile{
+		Name: fmt.Sprintf("homepod-%d", i), Vendor: "Apple", Model: model,
+		Category: VoiceAssistant, Platform: PlatformHomeKit, OUI: netx.OUI{0xf0, 0x18, 0x98},
+		HostnameKind: HostnameDisplay,
+		DisplayName:  fmt.Sprintf("Jane Doe's Kitchen %s", model),
+		DHCPParams:   []uint8{1, 3, 6, 15, 119, 252},
+		IPv6:         true, EAPOL: true, RespondsToScans: true,
+		SilentToBroadcastARP: true,
+		MDNS: &MDNSBehaviour{
+			Services: []ServiceSpec{
+				{InstancePattern: "{display}", Type: "_airplay._tcp.local", Port: 7000,
+					TXT: []string{"deviceid={mac}", "model=AudioAccessory5,1", "psi={uuid}"}},
+				{InstancePattern: "{MAC}@{display}", Type: "_raop._tcp.local", Port: 7000},
+				{InstancePattern: "{display}", Type: "_hap._tcp.local", Port: 49152,
+					TXT: []string{"id={mac}", "md={model}"}},
+				{InstancePattern: "{display}", Type: "_sleep-proxy._udp.local", Port: 56700},
+			},
+			QueryTypes:       []string{"_airplay._tcp.local", "_companion-link._tcp.local", "_homekit._tcp.local"},
+			QueryInterval:    60 * time.Second,
+			AnnounceInterval: 4 * time.Minute,
+			AnswerUnicast:    true,
+		},
+		TLS: []TLSSpec{{Port: 49152, Version: tlsx.VersionTLS13,
+			Cert: tlsx.CertMeta{IssuerCN: "Apple HomeKit CA", SubjectCN: "homepod.local", KeyBits: 256,
+				NotBefore: time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC),
+				NotAfter:  time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)}}},
+	}
+	if mini {
+		p.CoAP = true
+		p.DNS = &DNSSpec{Software: "SheerDNS 1.0.0"} // §5.2 finding
+		p.Vulns = []Vulnerability{
+			{ID: "SheerDNS-1.0.0", Port: 53, Summary: "outdated DNS server with known flaws"},
+			{ID: "dns-cache-snooping", Port: 53, Summary: "DNS cache snooping reveals resolved names"},
+		}
+	}
+	return p
+}
+
+func metaPortal() *Profile {
+	return &Profile{
+		Name: "meta-portal", Vendor: "Meta", Model: "Portal Go",
+		Category: VoiceAssistant, Platform: PlatformAlexa, OUI: netx.OUI{0x60, 0xf1, 0x89},
+		HostnameKind: HostnameModel, DisplayName: "Portal",
+		DHCPParams: []uint8{1, 3, 6, 15, 26},
+		IPv6:       true, EAPOL: true, RespondsToScans: true,
+		MDNS: &MDNSBehaviour{
+			Services: []ServiceSpec{{InstancePattern: "Portal-{tail}", Type: "_airplay._tcp.local", Port: 7000,
+				TXT: []string{"deviceid={mac}"}}},
+			QueryInterval: 90 * time.Second, QueryTypes: []string{"_airplay._tcp.local"},
+			AnnounceInterval: 5 * time.Minute,
+		},
+		TLS: []TLSSpec{{Port: 8443, Version: tlsx.VersionTLS12,
+			Cert: tlsx.CertMeta{IssuerCN: "Meta Device CA", SubjectCN: "portal.local", KeyBits: 128,
+				NotBefore: time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC),
+				NotAfter:  time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)}}},
+	}
+}
+
+func camera(name, vendor, model string, oui netx.OUI, cloudOnly bool) *Profile {
+	p := &Profile{
+		Name: name, Vendor: vendor, Model: model, Category: Surveillance,
+		OUI: oui, HostnameKind: HostnameModel,
+		DHCPVendorClass: "udhcp 1.19.4",
+		DHCPParams:      []uint8{1, 3, 6, 12, 15, 28},
+		EAPOL:           true, RespondsToScans: !cloudOnly,
+		SilentToBroadcastARP: cloudOnly,
+	}
+	if !cloudOnly {
+		p.HTTP = []HTTPSpec{{Port: 80, Banner: vendor + "-HTTPD/1.0",
+			Paths: map[string]string{"/": "<html>camera</html>"}}}
+		// Local-API cameras stream RTSP and expose a vendor control port
+		// derived from the model (the §4.2 long tail).
+		p.ExtraTCP = append(p.ExtraTCP, 554, uint16(8000+int(model[0])%80))
+	}
+	return p
+}
+
+func cheapCam(name, vendor, model string, oui netx.OUI, telnetPort uint16) *Profile {
+	p := camera(name, vendor, model, oui, false)
+	p.TelnetPort = telnetPort
+	if telnetPort != 0 {
+		p.Vulns = append(p.Vulns, Vulnerability{ID: "telnet-open", Port: telnetPort,
+			Summary: "telnet daemon with default credentials"})
+	}
+	p.ExtraUDP = []uint16{34567}
+	return p
+}
+
+func amcrestCam() *Profile {
+	p := camera("amcrest-cam", "Amcrest", "IP2M-841", netx.OUI{0x9c, 0x8e, 0xcd}, false)
+	p.DisplayName = "AMC020SC43PJ749D66"
+	p.SSDP = &SSDPBehaviour{
+		Ads:            []ssdp.Advertisement{{Target: ssdp.TargetBasic, Server: "Linux, UPnP/1.0, Private UPnP SDK"}},
+		NotifyInterval: 10 * time.Minute,
+		AnswersSearch:  true,
+		DescriptionXML: true,
+		UPnPVersion:    "1.0",
+	}
+	p.HTTP = []HTTPSpec{{Port: 80, Banner: "Amcrest-HTTPD/2.4",
+		Paths: map[string]string{"/": "<html>Amcrest</html>", "/cgi-bin/magicBox.cgi": "sn={serial}"}}}
+	p.Vulns = []Vulnerability{{ID: "upnp-1.0", Port: 1900, Summary: "deprecated UPnP 1.0 stack"}}
+	return p
+}
+
+func dlinkCam() *Profile {
+	p := camera("dlink-cam", "D-Link", "DCS-8000LH", netx.OUI{0xb0, 0xc5, 0x54}, false)
+	p.TLS = []TLSSpec{{Port: 443, Version: tlsx.VersionTLS12,
+		Cert: tlsx.CertMeta{IssuerCN: "D-Link Device", SubjectCN: "dcs.local", SelfSigned: true, KeyBits: 128,
+			NotBefore: time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC),
+			NotAfter:  time.Date(2046, 1, 1, 0, 0, 0, 0, time.UTC)}}} // 28-year self-signed (§5.2)
+	return p
+}
+
+func nestCam(i int) *Profile {
+	p := camera(fmt.Sprintf("nest-cam-%d", i), "Google", "Nest Cam", googleOUI(i+3), true)
+	p.Platform = PlatformGoogleHome
+	p.IPv6 = true
+	p.MDNS = &MDNSBehaviour{
+		Services: []ServiceSpec{{InstancePattern: "Nest-Cam-{tail}", Type: "_nest._tcp.local", Port: 443,
+			TXT: []string{"id={uuid}"}}},
+		AnnounceInterval: 10 * time.Minute,
+	}
+	return p
+}
+
+func lefunCam() *Profile {
+	p := camera("lefun-cam", "Lefun", "C2 720p", netx.OUI{0x00, 0x55, 0xda}, false)
+	p.HTTP = []HTTPSpec{{Port: 80, Banner: "GoAhead-Webs",
+		Paths: map[string]string{
+			"/":           "<html>Lefun</html>",
+			"/backup.cgi": "config-backup: admin:admin wifi_ssid=MonIoTr wifi_pass=redacted", // §5.2
+		}}}
+	p.Vulns = []Vulnerability{{ID: "http-backup-exposure", Port: 80,
+		Summary: "HTTP server allows unauthenticated access to backup files"}}
+	return p
+}
+
+func microsevenCam() *Profile {
+	p := camera("microseven-cam", "Microseven", "M7B77", netx.OUI{0x00, 0x92, 0x58}, false)
+	p.HTTP = []HTTPSpec{{Port: 80, Banner: "lighttpd/1.4.35 jquery/1.2",
+		Paths: map[string]string{
+			"/":                      `<html><script src="jquery-1.2.js"></script></html>`,
+			"/onvif/snapshot":        "\xff\xd8\xffJFIF-fake-snapshot-bytes", // unauthenticated ONVIF (§5.2)
+			"/cgi-bin/users.cgi":     "admin,viewer,service",
+			"/cgi-bin/recording.cgi": "/mnt/sdcard/recordings",
+		}}}
+	p.Vulns = []Vulnerability{
+		{ID: "CVE-2020-11022", Port: 80, Summary: "jQuery 1.2 with multiple XSS vulnerabilities"},
+		{ID: "onvif-unauth-snapshot", Port: 80, Summary: "unauthenticated ONVIF snapshot access"},
+		{ID: "user-account-listing", Port: 80, Summary: "user accounts listable without auth"},
+	}
+	return p
+}
+
+func ringCam(i int, model string) *Profile {
+	p := camera(fmt.Sprintf("ring-cam-%d", i), "Ring", model, netx.OUI{0x34, 0x3e, 0xa4}, true)
+	p.Platform = PlatformAlexa
+	p.HostnameKind = HostnameModel // bare model name (§5.1)
+	return p
+}
+
+func ringDoorbell() *Profile {
+	p := camera("ring-doorbell", "Ring", "Video Doorbell 4", netx.OUI{0x54, 0xe0, 0x19}, true)
+	p.Platform = PlatformAlexa
+	return p
+}
+
+func tuyaCam() *Profile {
+	p := camera("tuya-cam", "Tuya", "Smart Camera", netx.OUI{0x10, 0xd5, 0x61}, false)
+	p.Platform = PlatformTuya
+	p.HostnameKind = HostnameVendorTail
+	p.Tuya = &TuyaSpec{Serve: true, BroadcastInterval: 20 * time.Second}
+	return p
+}
+
+func fireTV() *Profile {
+	return &Profile{
+		Name: "fire-tv", Vendor: "Amazon", Model: "Fire TV Stick 4K",
+		Category: MediaTV, Platform: PlatformAlexa, OUI: amazonOUI(7),
+		HostnameKind: HostnameVendorTail, DisplayName: "Fire TV",
+		DHCPVendorClass: "dhcpcd-6.8.2:Linux-4.9.113",
+		DHCPParams:      []uint8{1, 3, 6, 12, 15, 28, 42},
+		IPv6:            true, EAPOL: true, RespondsToScans: true,
+		MDNS: &MDNSBehaviour{
+			Services: []ServiceSpec{{InstancePattern: "Fire TV-{tail}", Type: "_amzn-wplay._tcp.local", Port: 55443,
+				TXT: []string{"u={uuid}", "a={MAC}"}}},
+			QueryInterval: 60 * time.Second, QueryTypes: []string{"_amzn-wplay._tcp.local"},
+			AnnounceInterval: 5 * time.Minute,
+		},
+		SSDP: &SSDPBehaviour{
+			Ads:                []ssdp.Advertisement{{Target: ssdp.TargetDial}},
+			NotifyInterval:     5 * time.Minute,
+			AnswersSearch:      true,
+			DescriptionXML:     true,
+			AnnounceBadAddress: true, // the /16 misconfiguration (§5.1)
+			UPnPVersion:        "1.0",
+		},
+		HTTP: []HTTPSpec{{Port: 8008, Banner: "FireTV/1.0",
+			Paths: map[string]string{"/apps/dial": "dial-registry"}}},
+		Vulns: []Vulnerability{{ID: "upnp-1.0", Port: 1900, Summary: "deprecated UPnP 1.0 stack"}},
+	}
+}
+
+func appleTV() *Profile {
+	return &Profile{
+		Name: "apple-tv", Vendor: "Apple", Model: "Apple TV 4K",
+		Category: MediaTV, Platform: PlatformHomeKit, OUI: netx.OUI{0xac, 0xbc, 0x32},
+		HostnameKind: HostnameDisplay, DisplayName: "Living Room Apple TV",
+		DHCPParams: []uint8{1, 3, 6, 15, 119, 252},
+		IPv6:       true, EAPOL: true, RespondsToScans: true, SilentToBroadcastARP: true,
+		MDNS: &MDNSBehaviour{
+			Services: []ServiceSpec{
+				{InstancePattern: "{display}", Type: "_airplay._tcp.local", Port: 7000,
+					TXT: []string{"deviceid={mac}", "model=AppleTV11,1", "pk={uuid}"}},
+				{InstancePattern: "{MAC}@{display}", Type: "_raop._tcp.local", Port: 7000},
+				{InstancePattern: "{display}", Type: "_companion-link._tcp.local", Port: 49153},
+			},
+			QueryInterval: 45 * time.Second, QueryTypes: []string{"_airplay._tcp.local", "_hap._tcp.local"},
+			AnnounceInterval: 3 * time.Minute, AnswerUnicast: true,
+		},
+		TLS: []TLSSpec{{Port: 49153, Version: tlsx.VersionTLS13,
+			Cert: tlsx.CertMeta{IssuerCN: "Apple HomeKit CA", SubjectCN: "appletv.local", KeyBits: 256,
+				NotBefore: time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC),
+				NotAfter:  time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)}}},
+	}
+}
+
+func chromecast() *Profile {
+	p := googleSpeaker(8, "Chromecast with Google TV")
+	p.Name = "chromecast"
+	p.Category = MediaTV
+	p.DisplayName = "Living Room TV"
+	p.ICMPv6ProbeCount = 0
+	p.SSDP.AnswersSearch = true
+	p.SSDP.DescriptionXML = true
+	return p
+}
+
+func lgTV() *Profile {
+	return &Profile{
+		Name: "lg-tv", Vendor: "LG", Model: "OLED55 WebOS TV",
+		Category: MediaTV, OUI: netx.OUI{0x88, 0x36, 0x6c},
+		HostnameKind: HostnameModel, DisplayName: "[LG] webOS TV",
+		DHCPVendorClass: "LGE WebOS",
+		DHCPParams:      []uint8{1, 3, 6, 12, 15, 28, 44},
+		IPv6:            true, EAPOL: true, RespondsToScans: true,
+		MDNS: &MDNSBehaviour{
+			Services: []ServiceSpec{{InstancePattern: "{display}", Type: "_airplay._tcp.local", Port: 7000,
+				TXT: []string{"deviceid={mac}"}}},
+			AnnounceInterval: 10 * time.Minute,
+		},
+		SSDP: &SSDPBehaviour{
+			Ads:            []ssdp.Advertisement{{Target: ssdp.TargetMediaRender, Server: "WebOS/4.1.0 UPnP/1.0"}},
+			SearchTargets:  []string{ssdp.TargetIGD}, // three firmware strings rotate below
+			SearchInterval: 5 * time.Minute,
+			NotifyInterval: 5 * time.Minute,
+			AnswersSearch:  true,
+			DescriptionXML: true,
+			UPnPVersion:    "1.0",
+		},
+		HTTP: []HTTPSpec{{Port: 1884, Banner: "WebOS/4.1.0 UPnP/1.0",
+			UserAgent: "LG WebOS/4.1.0",
+			Paths:     map[string]string{"/udap/api": "<envelope/>"}}},
+		NetBIOS: []string{"LGWEBOSTV", "WORKGROUP"},
+		ARP:     &ARPBehaviour{RequestsPublicIPs: true, SweepInterval: 6 * time.Hour},
+		Vulns:   []Vulnerability{{ID: "upnp-1.0", Port: 1900, Summary: "deprecated UPnP 1.0 stack"}},
+	}
+}
+
+func rokuTV() *Profile {
+	return &Profile{
+		Name: "roku-tv", Vendor: "Roku", Model: "Roku Express",
+		Category: MediaTV, OUI: netx.OUI{0x00, 0x0d, 0x4b},
+		ARP:          &ARPBehaviour{RequestsPublicIPs: true, SweepInterval: 8 * time.Hour},
+		HostnameKind: HostnameDisplay, DisplayName: "Jane's Roku Express", // first-name exposure (Table 2)
+		DHCPParams: []uint8{1, 3, 6, 12, 15},
+		EAPOL:      true, RespondsToScans: true,
+		MDNS: &MDNSBehaviour{
+			Services: []ServiceSpec{{InstancePattern: "{display}", Type: "_rsp._tcp.local", Port: 8060,
+				TXT: []string{"sn={serial}", "id={uuid}"}}},
+			AnnounceInterval: 5 * time.Minute,
+		},
+		SSDP: &SSDPBehaviour{
+			Ads:            []ssdp.Advertisement{{Target: "roku:ecp", Server: "Roku/9.0 UPnP/1.0"}},
+			SearchTargets:  []string{ssdp.TargetIGD}, // IGD requests exploitable by malware (§5.1)
+			SearchInterval: 10 * time.Minute,
+			NotifyInterval: 3 * time.Minute,
+			AnswersSearch:  true,
+			DescriptionXML: true,
+			UPnPVersion:    "1.0",
+		},
+		HTTP: []HTTPSpec{{Port: 8060, Banner: "Roku/9.0 UPnP/1.0 MiniUPnPd/1.4",
+			Paths: map[string]string{"/query/device-info": "<device-info><serial-number>{serial}</serial-number><wifi-mac>{mac}</wifi-mac></device-info>"}}},
+		Vulns: []Vulnerability{{ID: "ssdp-igd-requests", Port: 1900,
+			Summary: "sends IGD discovery abusable by local malware"}},
+	}
+}
+
+func samsungTV() *Profile {
+	return &Profile{
+		Name: "samsung-tv", Vendor: "Samsung", Model: "QN55 Tizen TV",
+		Category: MediaTV, Platform: PlatformSmartThings, OUI: netx.OUI{0x8c, 0x79, 0xf5},
+		HostnameKind: HostnameModel, DisplayName: "[TV] Samsung Q55",
+		DHCPParams: []uint8{1, 3, 6, 12, 15, 28},
+		IPv6:       true, EAPOL: true, RespondsToScans: true,
+		MDNS: &MDNSBehaviour{
+			Services: []ServiceSpec{{InstancePattern: "Samsung QN55", Type: "_airplay._tcp.local", Port: 7000,
+				TXT: []string{"deviceid={mac}"}}},
+			AnnounceInterval: 8 * time.Minute,
+		},
+		SSDP: &SSDPBehaviour{
+			Ads:            []ssdp.Advertisement{{Target: ssdp.TargetMediaRender, Server: "SHP, UPnP/1.0, Samsung UPnP SDK/1.0"}},
+			NotifyInterval: 5 * time.Minute,
+			AnswersSearch:  true,
+			DescriptionXML: true,
+		},
+		HTTP:    []HTTPSpec{{Port: 8001, Banner: "Samsung TizenTV/5.5", Paths: map[string]string{"/api/v2/": `{"device":{"name":"{display}","wifiMac":"{mac}"}}`}}},
+		NetBIOS: []string{"SAMSUNGTV", "WORKGROUP"},
+		ARP:     &ARPBehaviour{RequestsPublicIPs: true, SweepInterval: 6 * time.Hour},
+	}
+}
+
+func tivoStream() *Profile {
+	return &Profile{
+		Name: "tivo-stream", Vendor: "TiVo", Model: "Stream 4K",
+		Category: MediaTV, Platform: PlatformGoogleHome, OUI: netx.OUI{0x00, 0x04, 0x20},
+		HostnameKind: HostnameRandom, // obfuscated per request (§5.1)
+		DHCPParams:   []uint8{1, 3, 6, 12},
+		IPv6:         true, EAPOL: true, RespondsToScans: true,
+		MDNS: &MDNSBehaviour{
+			Services: []ServiceSpec{{InstancePattern: "TiVo-Stream", Type: "_googlecast._tcp.local", Port: 8009,
+				TXT: []string{"md=Stream 4K"}}},
+			AnnounceInterval: 10 * time.Minute,
+		},
+		TLS: []TLSSpec{{Port: 8009, Version: tlsx.VersionTLS12,
+			Cert: tlsx.CertMeta{IssuerCN: "Google Cast Root CA", SubjectCN: "{ip}", KeyBits: 96,
+				NotBefore: time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC),
+				NotAfter:  time.Date(2042, 1, 1, 0, 0, 0, 0, time.UTC)}}},
+		Vulns: []Vulnerability{{ID: "CVE-2016-2183", Port: 8009,
+			Summary: "TLS service uses a small encryption key enabling birthday attacks"}},
+	}
+}
+
+func plug(name, vendor, model string, oui netx.OUI, platform Platform) *Profile {
+	return &Profile{
+		Name: name, Vendor: vendor, Model: model, Category: HomeAutomation,
+		Platform: platform, OUI: oui,
+		HostnameKind:    HostnameVendorTail,
+		DHCPVendorClass: "udhcp 1.19.4",
+		DHCPParams:      []uint8{1, 3, 6, 12, 15},
+		EAPOL:           true, RespondsToScans: true,
+	}
+}
+
+func hub(name, vendor, model string, oui netx.OUI, platform Platform) *Profile {
+	p := plug(name, vendor, model, oui, platform)
+	p.IPv6 = true
+	p.MDNS = &MDNSBehaviour{
+		Services: []ServiceSpec{{InstancePattern: vendor + "-{tail}", Type: "_hap._tcp.local", Port: 8080,
+			TXT: []string{"id={mac}", "md=" + model}}},
+		AnnounceInterval: 10 * time.Minute,
+	}
+	return p
+}
+
+func hueHub() *Profile {
+	return &Profile{
+		Name: "hue-hub", Vendor: "Philips", Model: "Hue Bridge 2.0",
+		Category: HomeAutomation, Platform: PlatformHomeKit, OUI: netx.OUI{0x00, 0x17, 0x88},
+		HostnameKind: HostnameVendorTail,
+		DisplayName:  "Philips hue",
+		DHCPParams:   []uint8{1, 3, 6, 12, 15, 28, 42},
+		IPv6:         true, EAPOL: true, RespondsToScans: true,
+		MDNS: &MDNSBehaviour{
+			Services: []ServiceSpec{{
+				// MAC embedded in the instance name (§5.1, Table 5).
+				InstancePattern: "Philips Hue - {tail}", Type: "_hue._tcp.local", Port: 443,
+				TXT: []string{"bridgeid={MAC}", "modelid=BSB002"},
+			}},
+			AnnounceInterval: 5 * time.Minute,
+			AnswerUnicast:    true,
+		},
+		SSDP: &SSDPBehaviour{
+			Ads:            []ssdp.Advertisement{{Target: ssdp.TargetBasic, Server: "Linux/3.14 UPnP/1.0 IpBridge/1.56.0"}},
+			NotifyInterval: 2 * time.Minute,
+			AnswersSearch:  true,
+			DescriptionXML: true,
+			UPnPVersion:    "1.0",
+		},
+		HTTP: []HTTPSpec{{Port: 80, Banner: "nginx",
+			Paths: map[string]string{"/api/config": `{"name":"Philips hue","bridgeid":"{MAC}","mac":"{mac}"}`}}},
+		TLS: []TLSSpec{{Port: 443, Version: tlsx.VersionTLS12,
+			Cert: tlsx.CertMeta{IssuerCN: "root-bridge", SubjectCN: "{uuid}", SelfSigned: true, KeyBits: 128,
+				NotBefore: time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC),
+				NotAfter:  time.Date(2038, 1, 1, 0, 0, 0, 0, time.UTC)}}}, // ~20-year self-signed
+		Vulns: []Vulnerability{{ID: "upnp-1.0", Port: 1900, Summary: "deprecated UPnP 1.0 stack"}},
+	}
+}
+
+func ringChime() *Profile {
+	p := plug("ring-chime", "Ring", "Chime Pro", netx.OUI{0x90, 0x48, 0x6c}, PlatformAlexa)
+	p.HostnameKind = HostnameModelMAC // name+MAC hostname (§5.1)
+	return p
+}
+
+func smartThingsHub() *Profile {
+	p := hub("smartthings-hub", "SmartThings", "Hub v3", netx.OUI{0x24, 0xfd, 0x5b}, PlatformSmartThings)
+	p.TLS = []TLSSpec{{Port: 443, Version: tlsx.VersionTLS12,
+		Cert: tlsx.CertMeta{IssuerCN: "SmartThings", SubjectCN: "hub.local", SelfSigned: true, KeyBits: 128,
+			NotBefore: time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC),
+			NotAfter:  time.Date(2040, 1, 1, 0, 0, 0, 0, time.UTC)}}}
+	return p
+}
+
+func tplinkPlug() *Profile {
+	p := plug("tplink-plug", "TP-Link", "HS110(US)", netx.OUI{0x50, 0xc7, 0xbf}, PlatformAlexa)
+	p.DisplayName = "TP-Link Plug"
+	p.TPLink = &TPLinkSpec{Serve: true, Latitude: 42.337681, Longitude: -71.087036}
+	p.Vulns = []Vulnerability{{ID: "tplink-shp-unauth", Port: 9999,
+		Summary: "unauthenticated local control and plaintext geolocation"}}
+	return p
+}
+
+func tplinkBulb() *Profile {
+	p := plug("tplink-bulb", "TP-Link", "KL130", netx.OUI{0x68, 0xff, 0x7b}, PlatformAlexa)
+	p.DisplayName = "TP-Link Bulb"
+	p.TPLink = &TPLinkSpec{Serve: true, Latitude: 42.337681, Longitude: -71.087036}
+	p.Vulns = []Vulnerability{{ID: "tplink-shp-unauth", Port: 9999,
+		Summary: "unauthenticated local control and plaintext geolocation"}}
+	return p
+}
+
+func merossPlug(i int, model string) *Profile {
+	p := plug(fmt.Sprintf("meross-plug-%d", i), "Meross", model, netx.OUI{0x48, 0x5f, 0x99}, PlatformAlexa)
+	p.MDNS = &MDNSBehaviour{
+		Services: []ServiceSpec{{InstancePattern: "Meross-{tail}", Type: "_meross._tcp.local", Port: 80,
+			TXT: []string{"mac={mac}", "model=" + model}}},
+		AnnounceInterval: 10 * time.Minute,
+	}
+	p.HTTP = []HTTPSpec{{Port: 80, Banner: "Mongoose/6.12", Paths: map[string]string{
+		"/config": `{"mac":"{mac}","model":"` + model + `"}`}}}
+	return p
+}
+
+func tuyaDevice(name, vendor, model string, plaintext bool) *Profile {
+	p := plug(name, vendor, model, netx.OUI{0x68, 0x57, 0x2d}, PlatformTuya)
+	p.Tuya = &TuyaSpec{Serve: true, Plaintext: plaintext, BroadcastInterval: 20 * time.Second}
+	if plaintext {
+		p.Vulns = []Vulnerability{{ID: "tuya-plaintext-keys", Port: 6666,
+			Summary: "gwId and productKey broadcast in plaintext"}}
+	}
+	return p
+}
+
+func wemoPlug() *Profile {
+	p := plug("wemo-plug", "Belkin", "WeMo Mini", netx.OUI{0x14, 0x91, 0x82}, PlatformNone)
+	p.ARP = &ARPBehaviour{RequestsPublicIPs: true, SweepInterval: 8 * time.Hour} // public-IP probes (§5.1)
+	p.SSDP = &SSDPBehaviour{
+		Ads:            []ssdp.Advertisement{{Target: ssdp.TargetBasic, Server: "Unspecified, UPnP/1.0, Unspecified"}},
+		NotifyInterval: 5 * time.Minute,
+		AnswersSearch:  true,
+		DescriptionXML: true,
+		UPnPVersion:    "1.0",
+	}
+	p.HTTP = []HTTPSpec{{Port: 49153, Banner: "Unspecified, UPnP/1.0, Unspecified",
+		Paths: map[string]string{"/setup.xml": "<friendlyName>Wemo Mini</friendlyName>"}}}
+	p.DNS = &DNSSpec{Software: "dnsmasq-2.47"}
+	p.Vulns = []Vulnerability{
+		{ID: "dns-cache-snooping", Port: 53, Summary: "DNS cache snooping reveals resolved names"},
+		{ID: "upnp-1.0", Port: 1900, Summary: "deprecated UPnP 1.0 stack"},
+	}
+	return p
+}
+
+func nestThermostat() *Profile {
+	p := plug("nest-thermostat", "Google", "Nest Thermostat", netx.OUI{0x64, 0x16, 0x66}, PlatformGoogleHome)
+	p.Model = "Nest Thermostat"
+	p.IPv6 = true
+	p.MDNS = &MDNSBehaviour{
+		Services: []ServiceSpec{{InstancePattern: "Nest-{tail}", Type: "_nest._tcp.local", Port: 9543,
+			TXT: []string{"id={uuid}"}}},
+		AnnounceInterval: 15 * time.Minute,
+	}
+	p.ExtraUDP = []uint16{320}                                                   // PTP (§4.2)
+	p.ARP = &ARPBehaviour{RequestsPublicIPs: true, SweepInterval: 8 * time.Hour} // public-IP probes (§5.1)
+	return p
+}
+
+func amazonPlug() *Profile {
+	p := plug("amazon-plug", "Amazon", "Smart Plug", amazonOUI(9), PlatformAlexa)
+	p.IPv6 = true
+	p.MDNS = &MDNSBehaviour{
+		Services: []ServiceSpec{{InstancePattern: "{MAC}", Type: "_matterc._udp.local", Port: 5540,
+			TXT: []string{"D=2112", "VP=4631+2", "CM=1", "DN=Amazon Plug", "PH=33"}}},
+		AnnounceInterval: 10 * time.Minute,
+	}
+	return p
+}
+
+func appliance(name, vendor, model string, oui netx.OUI) *Profile {
+	return &Profile{
+		Name: name, Vendor: vendor, Model: model, Category: HomeAppliance,
+		OUI: oui, HostnameKind: HostnameVendorTail,
+		DHCPVendorClass: "udhcp 1.24.1",
+		DHCPParams:      []uint8{1, 3, 6, 12, 15},
+		EAPOL:           true, RespondsToScans: false, SilentToBroadcastARP: true,
+	}
+}
+
+func blueairPurifier() *Profile {
+	p := appliance("blueair-purifier", "Blueair", "Classic 480i", netx.OUI{0xcc, 0x50, 0xe3})
+	p.ARP = &ARPBehaviour{RequestsPublicIPs: true, SweepInterval: 8 * time.Hour} // public-IP probes (§5.1)
+	p.RespondsToScans = true
+	p.HTTP = []HTTPSpec{{Port: 80, Banner: "Blueair/1.1",
+		Paths: map[string]string{"/status": `{"mac":"{mac}","model":"Classic 480i"}`}}}
+	return p
+}
+
+func geMicrowave() *Profile {
+	p := appliance("ge-microwave", "GE", "Smart Microwave", netx.OUI{0xb4, 0x79, 0xa7})
+	p.HostnameKind = HostnameRandom // obfuscated hostnames (§5.1)
+	return p
+}
+
+func samsungFridge() *Profile {
+	p := appliance("samsung-fridge", "Samsung", "Family Hub Fridge", netx.OUI{0x28, 0x6d, 0x97})
+	p.Platform = PlatformSmartThings
+	p.RespondsToScans = true
+	p.SilentToBroadcastARP = false
+	p.IPv6 = true
+	p.CoAP = true // IoTivity /oic/res requests (§5.1)
+	p.MDNS = &MDNSBehaviour{
+		Services: []ServiceSpec{{InstancePattern: "Family Hub-{tail}", Type: "_airplay._tcp.local", Port: 7000,
+			TXT: []string{"deviceid={mac}"}}},
+		AnnounceInterval: 10 * time.Minute,
+	}
+	return p
+}
+
+func sensor(name, vendor, model string, oui netx.OUI) *Profile {
+	return &Profile{
+		Name: name, Vendor: vendor, Model: model, Category: GenericIoT,
+		OUI: oui, HostnameKind: HostnameVendorTail,
+		DHCPVendorClass: "esp-idf/3.2",
+		DHCPParams:      []uint8{1, 3, 6},
+		RespondsToScans: false, SilentToBroadcastARP: true,
+	}
+}
+
+func tuyaSensor() *Profile {
+	p := sensor("tuya-sensor", "Tuya", "PIR Sensor", netx.OUI{0x10, 0xd5, 0x61})
+	p.Platform = PlatformTuya
+	p.Tuya = &TuyaSpec{Serve: true, BroadcastInterval: 60 * time.Second}
+	return p
+}
+
+func withings(name, model string) *Profile {
+	p := sensor(name, "Withings", model, netx.OUI{0x00, 0x24, 0xe4})
+	p.EAPOL = true
+	return p
+}
+
+func nintendoSwitch() *Profile {
+	return &Profile{
+		Name: "nintendo-switch", Vendor: "Nintendo", Model: "Switch",
+		Category: GameConsole, OUI: netx.OUI{0x98, 0xb6, 0xe9},
+		HostnameKind: HostnameModel,
+		DHCPParams:   []uint8{1, 3, 6, 15},
+		EAPOL:        true, XID: true, // EAPOL layer-2 quirk (App. C.2)
+		RespondsToScans: true,
+	}
+}

@@ -1,0 +1,191 @@
+package device
+
+import (
+	"strings"
+	"testing"
+
+	"iotlan/internal/lan"
+	"iotlan/internal/netx"
+	"iotlan/internal/sim"
+	"iotlan/internal/stack"
+)
+
+func TestCatalogSize(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 93 {
+		t.Fatalf("catalog has %d devices, want 93", len(cat))
+	}
+	models := map[string]bool{}
+	names := map[string]bool{}
+	for _, p := range cat {
+		if names[p.Name] {
+			t.Errorf("duplicate device name %q", p.Name)
+		}
+		names[p.Name] = true
+		models[p.UniqueModelKey()] = true
+	}
+	if len(models) != 78 {
+		t.Fatalf("catalog has %d unique models, want 78", len(models))
+	}
+}
+
+func TestCatalogCategoryCounts(t *testing.T) {
+	counts := map[Category]int{}
+	for _, p := range Catalog() {
+		counts[p.Category]++
+	}
+	want := map[Category]int{
+		VoiceAssistant: 27, Surveillance: 19, MediaTV: 7,
+		HomeAutomation: 22, HomeAppliance: 10, GenericIoT: 7, GameConsole: 1,
+	}
+	for cat, n := range want {
+		if counts[cat] != n {
+			t.Errorf("%s: %d devices, want %d", cat, counts[cat], n)
+		}
+	}
+}
+
+func TestCatalogBehaviourFractions(t *testing.T) {
+	cat := Catalog()
+	var mdnsN, ssdpN, tlsN, ipv6N, tuyaN, tplinkServeN int
+	for _, p := range cat {
+		if p.MDNS != nil {
+			mdnsN++
+		}
+		if p.SSDP != nil {
+			ssdpN++
+		}
+		if len(p.TLS) > 0 {
+			tlsN++
+		}
+		if p.IPv6 {
+			ipv6N++
+		}
+		if p.Tuya != nil && p.Tuya.Serve {
+			tuyaN++
+		}
+		if p.TPLink != nil && p.TPLink.Serve {
+			tplinkServeN++
+		}
+	}
+	// The paper's prevalence bands (Figure 2): mDNS 44%, SSDP 32%, TLS 35%,
+	// IPv6 59%, TuyaLP ~5%. Allow the model ±10 points.
+	checks := []struct {
+		name   string
+		n      int
+		lo, hi int
+	}{
+		{"mDNS", mdnsN, 34, 55},
+		{"SSDP", ssdpN, 10, 35},
+		{"TLS", tlsN, 25, 42},
+		{"IPv6", ipv6N, 40, 65},
+		{"TuyaLP", tuyaN, 3, 7},
+		{"TPLINK serve", tplinkServeN, 2, 2},
+	}
+	for _, c := range checks {
+		if c.n < c.lo || c.n > c.hi {
+			t.Errorf("%s: %d devices, want in [%d, %d]", c.name, c.n, c.lo, c.hi)
+		}
+	}
+}
+
+func TestHostnamePolicies(t *testing.T) {
+	s := sim.NewScheduler(1)
+	n := lan.New(s)
+	mk := func(p *Profile, last byte) *Device {
+		mac := netx.MAC{p.OUI[0], p.OUI[1], p.OUI[2], 0, 0, last}
+		return New(p, stack.NewHost(n, mac, stack.DefaultPolicy))
+	}
+	chime := mk(ringChime(), 1)
+	if h := chime.Hostname(); !strings.Contains(h, chime.MAC().Compact()) {
+		t.Errorf("Ring Chime hostname should embed full MAC: %q", h)
+	}
+	tp := mk(tplinkPlug(), 2)
+	if h := tp.Hostname(); !strings.Contains(h, tp.MAC().Tail(3)) {
+		t.Errorf("TP-Link hostname should embed MAC tail: %q", h)
+	}
+	hp := mk(homePod(1, "HomePod Mini", true), 3)
+	if h := hp.Hostname(); !strings.Contains(h, "Jane-Doe") {
+		t.Errorf("HomePod hostname should expose display name: %q", h)
+	}
+	ge := mk(geMicrowave(), 4)
+	h1, h2 := ge.Hostname(), ge.Hostname()
+	if h1 == h2 {
+		t.Errorf("GE Microwave hostname should randomise: %q == %q", h1, h2)
+	}
+}
+
+func TestExpandPlaceholders(t *testing.T) {
+	s := sim.NewScheduler(1)
+	n := lan.New(s)
+	p := hueHub()
+	mac := netx.MAC{0x00, 0x17, 0x88, 0x68, 0x5f, 0x61}
+	d := New(p, stack.NewHost(n, mac, stack.DefaultPolicy))
+	got := d.expand("Philips Hue - {tail} id={mac} u={uuid}")
+	if !strings.Contains(got, "685F61") {
+		t.Errorf("tail not expanded: %q", got)
+	}
+	if !strings.Contains(got, "00:17:88:68:5f:61") {
+		t.Errorf("mac not expanded: %q", got)
+	}
+	if !strings.Contains(got, d.UUID) {
+		t.Errorf("uuid not expanded: %q", got)
+	}
+}
+
+func TestUUIDDeterministicAndDistinct(t *testing.T) {
+	s := sim.NewScheduler(1)
+	n := lan.New(s)
+	p := hueHub()
+	mac := netx.MAC{0x00, 0x17, 0x88, 1, 2, 3}
+	d1 := New(p, stack.NewHost(n, mac, stack.DefaultPolicy))
+	d2 := New(p, stack.NewHost(n, mac, stack.DefaultPolicy))
+	if d1.UUID != d2.UUID {
+		t.Fatal("UUID not deterministic for same profile")
+	}
+	other := New(tplinkPlug(), stack.NewHost(n, mac, stack.DefaultPolicy))
+	if other.UUID == d1.UUID {
+		t.Fatal("different profiles share a UUID")
+	}
+	if len(d1.UUID) != 36 || strings.Count(d1.UUID, "-") != 4 {
+		t.Fatalf("UUID shape: %q", d1.UUID)
+	}
+}
+
+func TestVulnerableDevicesAnnotated(t *testing.T) {
+	vulnIDs := map[string]bool{}
+	for _, p := range Catalog() {
+		for _, v := range p.Vulns {
+			vulnIDs[v.ID] = true
+		}
+	}
+	for _, want := range []string{
+		"CVE-2016-2183", "SheerDNS-1.0.0", "dns-cache-snooping",
+		"CVE-2020-11022", "onvif-unauth-snapshot", "http-backup-exposure",
+		"upnp-1.0", "tplink-shp-unauth", "tuya-plaintext-keys",
+	} {
+		if !vulnIDs[want] {
+			t.Errorf("catalog lacks ground-truth vulnerability %s", want)
+		}
+	}
+}
+
+func TestDescriptionDocumentExposesIdentifiers(t *testing.T) {
+	s := sim.NewScheduler(1)
+	n := lan.New(s)
+	p := amcrestCam()
+	mac := netx.MAC{0x9c, 0x8e, 0xcd, 0x0a, 0x33, 0x1b}
+	d := New(p, stack.NewHost(n, mac, stack.DefaultPolicy))
+	doc, err := d.DescriptionDocument()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(doc)
+	// Amcrest's serial number is its MAC (Table 5).
+	if !strings.Contains(body, "9c:8e:cd:0a:33:1b") {
+		t.Errorf("description lacks MAC-as-serial: %s", body)
+	}
+	if !strings.Contains(body, "uuid:"+d.UUID) {
+		t.Errorf("description lacks UDN: %s", body)
+	}
+}

@@ -1,0 +1,227 @@
+// Package device models the smart-home devices of the MonIoTr testbed: a
+// behaviour profile per device (protocols spoken, discovery cadence,
+// identifier-exposure policy, open services, vulnerabilities) and a runtime
+// that drives those behaviours on the simulated network. The catalog in
+// catalog.go instantiates the full 93-device Table 3 inventory.
+package device
+
+import (
+	"time"
+
+	"iotlan/internal/netx"
+	"iotlan/internal/ssdp"
+	"iotlan/internal/tlsx"
+)
+
+// Category matches Table 3's grouping.
+type Category string
+
+// Table 3 device categories.
+const (
+	GameConsole    Category = "Game Console"
+	GenericIoT     Category = "Generic IoT"
+	HomeAppliance  Category = "Home Appliance"
+	HomeAutomation Category = "Home Automation"
+	MediaTV        Category = "Media/TV"
+	Surveillance   Category = "Surveillance"
+	VoiceAssistant Category = "Voice Assistant"
+)
+
+// Platform names the interoperability ecosystem a device belongs to; devices
+// on the same platform exchange local TLS/UDP control traffic (Figure 4).
+type Platform string
+
+// Ecosystems observed in the lab.
+const (
+	PlatformNone        Platform = ""
+	PlatformAlexa       Platform = "alexa"
+	PlatformGoogleHome  Platform = "google"
+	PlatformHomeKit     Platform = "homekit"
+	PlatformTuya        Platform = "tuya"
+	PlatformSmartThings Platform = "smartthings"
+)
+
+// HostnameKind selects the DHCP/mDNS hostname construction policy — the
+// §5.1 naming-method taxonomy.
+type HostnameKind int
+
+// Observed hostname policies.
+const (
+	// HostnameModel uses the bare model name (Ring cameras).
+	HostnameModel HostnameKind = iota
+	// HostnameModelMAC combines model and full MAC (Ring Chime).
+	HostnameModelMAC
+	// HostnameVendorTail combines vendor/model with a partial MAC (Tuya).
+	HostnameVendorTail
+	// HostnameDisplay exposes the user-defined display name (Google, Apple
+	// speakers: "Jane Doe's Kitchen Homepod").
+	HostnameDisplay
+	// HostnameRandom re-randomises bytes per request (GE Microwave, TiVo) —
+	// the privacy-preserving outlier.
+	HostnameRandom
+)
+
+// MDNSBehaviour configures a device's multicast DNS activity.
+type MDNSBehaviour struct {
+	Services []ServiceSpec
+	// QueryTypes are service types the device itself searches for.
+	QueryTypes []string
+	// QueryInterval is the gap between periodic queries (20–100 s for the
+	// big platforms, §5.1).
+	QueryInterval time.Duration
+	// AnnounceInterval is the gap between unsolicited advertisements.
+	AnnounceInterval time.Duration
+	// AnswerUnicast honours QU questions (≈20% of devices).
+	AnswerUnicast bool
+}
+
+// ServiceSpec describes one advertised mDNS service; InstancePattern may
+// contain the placeholders {mac}, {tail}, {display}, {serial}, {uuid} which
+// the runtime substitutes — this is where identifier exposure is encoded.
+type ServiceSpec struct {
+	InstancePattern string
+	Type            string
+	Port            uint16
+	TXT             []string // same placeholders allowed
+}
+
+// SSDPBehaviour configures SSDP/UPnP activity.
+type SSDPBehaviour struct {
+	// Ads are advertisements answered/notified; Location is filled by the
+	// runtime with the device's description URL.
+	Ads []ssdp.Advertisement
+	// SearchTargets are M-SEARCH targets sent periodically (Amazon:
+	// ssdp:all + upnp:rootdevice; Google: specific targets).
+	SearchTargets  []string
+	SearchInterval time.Duration
+	NotifyInterval time.Duration
+	// AnswersSearch: only 9/30 SSDP devices respond to M-SEARCH (§5.1).
+	AnswersSearch bool
+	// UPnPVersion in the SERVER header; 1.0 is the exploitable legacy (§5.1).
+	UPnPVersion string
+	// DescriptionXML exposes a device-description document over HTTP.
+	DescriptionXML bool
+	// AnnounceBadAddress reproduces Fire TV's /16 NOTIFY misconfiguration.
+	AnnounceBadAddress bool
+}
+
+// HTTPSpec is one plaintext HTTP service.
+type HTTPSpec struct {
+	Port   uint16
+	Banner string // Server header (Nessus banner)
+	// Paths maps path → static body; the runtime adds UPnP descriptions.
+	Paths map[string]string
+	// UserAgent is sent when the device acts as an HTTP client.
+	UserAgent string
+}
+
+// TLSSpec is one TLS service.
+type TLSSpec struct {
+	Port    uint16
+	Version uint16
+	Cert    tlsx.CertMeta
+	TwoWay  bool
+}
+
+// DNSSpec is an embedded DNS server (HomePod Mini, WeMo) — cache-snooping
+// and version-disclosure prone (§5.2).
+type DNSSpec struct {
+	Software string // e.g. "SheerDNS 1.0.0"
+}
+
+// ARPBehaviour configures active ARP scanning.
+type ARPBehaviour struct {
+	// SweepInterval broadcasts who-has for the whole /24 (Echo: daily).
+	SweepInterval time.Duration
+	// UnicastProbes sends targeted unicast ARP to known neighbours.
+	UnicastProbes bool
+	// RequestsPublicIPs probes public addresses (6 lab devices do, §5.1).
+	RequestsPublicIPs bool
+}
+
+// TPLinkSpec marks a device as speaking TPLINK-SHP.
+type TPLinkSpec struct {
+	// Serve: the device is a TP-Link product answering queries.
+	Serve bool
+	// Discover: the device (Echo, Google) broadcasts sysinfo queries.
+	Discover         bool
+	DiscoverInterval time.Duration
+	// Latitude/Longitude are the plaintext geolocation leak.
+	Latitude, Longitude float64
+}
+
+// TuyaSpec marks a TuyaLP speaker.
+type TuyaSpec struct {
+	Serve             bool
+	Plaintext         bool // 3.1 firmware: gwId/productKey in the clear
+	BroadcastInterval time.Duration
+}
+
+// Vulnerability is a ground-truth weakness the Nessus-like scanner should
+// find, keyed by the CVE or plugin name the paper cites.
+type Vulnerability struct {
+	ID      string // "CVE-2016-2183", "SheerDNS-1.0.0", "jquery-1.2-xss", …
+	Port    uint16
+	Summary string
+}
+
+// Profile is the complete static description of one device.
+type Profile struct {
+	Name     string // unique slug, e.g. "echo-spot-1"
+	Vendor   string
+	Model    string
+	Category Category
+	Platform Platform
+	OUI      netx.OUI
+
+	HostnameKind HostnameKind
+	// DisplayName is the user-assigned name (HostnameDisplay policy and
+	// mDNS {display}).
+	DisplayName string
+	// DHCPVendorClass is the option-60 client identifier ("udhcp 1.19.4").
+	DHCPVendorClass string
+	// DHCPParams is the option-55 fingerprint.
+	DHCPParams []uint8
+
+	IPv6  bool
+	EAPOL bool
+	// XID emits periodic LLC/XID discovery frames.
+	XID bool
+	// SilentToBroadcastARP models the 42% of devices ignoring broadcast
+	// scans while answering unicast (§5.1).
+	SilentToBroadcastARP bool
+	// RespondsToScans gates echo/unreachable responses (only 54/93 devices
+	// answered TCP scans, §3.1).
+	RespondsToScans bool
+
+	ARP     *ARPBehaviour
+	MDNS    *MDNSBehaviour
+	SSDP    *SSDPBehaviour
+	TPLink  *TPLinkSpec
+	Tuya    *TuyaSpec
+	CoAP    bool // IoTivity /oic/res requester (Samsung fridge)
+	NetBIOS []string
+	HTTP    []HTTPSpec
+	TLS     []TLSSpec
+	DNS     *DNSSpec
+	// TelnetPort exposes a telnet daemon (vulnerable cameras).
+	TelnetPort uint16
+	// RTPPort emits multi-room audio sync traffic (Echo 55444, Google
+	// 10000–10010).
+	RTPPort uint16
+	// ExtraTCP/ExtraUDP are additional open ports with no modelled service
+	// (the §4.2 long tail).
+	ExtraTCP []uint16
+	ExtraUDP []uint16
+	// LifxQuirk reproduces Echo's 2-hourly UDP 56700 broadcast for absent
+	// Lifx bulbs (§5.1 unidentified traffic).
+	LifxQuirk bool
+	// ICMPv6ProbeCount floods multicast neighbour solicitations (Nest Hub's
+	// 2,597 distinct addresses).
+	ICMPv6ProbeCount int
+
+	Vulns []Vulnerability
+}
+
+// UniqueModelKey identifies the model for the "78 unique models" count.
+func (p *Profile) UniqueModelKey() string { return p.Vendor + "/" + p.Model }

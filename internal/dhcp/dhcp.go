@@ -1,0 +1,199 @@
+// Package dhcp implements the DHCPv4 wire format (RFC 2131) plus a server
+// and client over the simulated stack. DHCP matters to the study twice: it
+// assigns lab addresses, and its options leak device identity — hostnames,
+// vendor class identifiers and parameter-request fingerprints (§5.1).
+package dhcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+
+	"iotlan/internal/netx"
+)
+
+// Message op codes.
+const (
+	OpRequest = 1
+	OpReply   = 2
+)
+
+// DHCP message types (option 53).
+const (
+	Discover = 1
+	Offer    = 2
+	Request  = 3
+	Ack      = 5
+	Nak      = 6
+)
+
+// Well-known option codes used by devices in the study.
+const (
+	OptSubnetMask   = 1
+	OptRouter       = 3
+	OptNameServer   = 5 // deprecated IEN-116 name server (§5.1 oddity)
+	OptDNS          = 6
+	OptHostname     = 12
+	OptRootPath     = 17 // deprecated, still requested by some devices
+	OptDomainName   = 15
+	OptBroadcast    = 28
+	OptNTP          = 42
+	OptRequestedIP  = 50
+	OptLeaseTime    = 51
+	OptMsgType      = 53
+	OptServerID     = 54
+	OptParamRequest = 55
+	OptVendorClass  = 60
+	OptClientID     = 61
+	OptSMTPServer   = 69 // deprecated, observed in lab requests
+	OptClientFQDN   = 81
+	OptEnd          = 255
+)
+
+// Message is a DHCPv4 message.
+type Message struct {
+	Op       uint8
+	XID      uint32
+	ClientHW netx.MAC
+	YourIP   netip.Addr
+	Options  []Option
+}
+
+// Option is a raw DHCP option.
+type Option struct {
+	Code uint8
+	Data []byte
+}
+
+// Opt returns the first option with the given code, or nil.
+func (m *Message) Opt(code uint8) []byte {
+	for _, o := range m.Options {
+		if o.Code == code {
+			return o.Data
+		}
+	}
+	return nil
+}
+
+// Type returns the message type (option 53), or 0.
+func (m *Message) Type() uint8 {
+	if d := m.Opt(OptMsgType); len(d) == 1 {
+		return d[0]
+	}
+	return 0
+}
+
+// Hostname returns option 12 as a string, or "".
+func (m *Message) Hostname() string { return string(m.Opt(OptHostname)) }
+
+// VendorClass returns option 60 as a string (the DHCP client version
+// identifier the paper fingerprints), or "".
+func (m *Message) VendorClass() string { return string(m.Opt(OptVendorClass)) }
+
+// ParamRequest returns the option-55 parameter request list.
+func (m *Message) ParamRequest() []uint8 { return m.Opt(OptParamRequest) }
+
+var magicCookie = [4]byte{99, 130, 83, 99}
+
+// Marshal encodes the message.
+func (m *Message) Marshal() []byte {
+	out := make([]byte, 240, 300)
+	out[0] = m.Op
+	out[1] = 1 // htype ethernet
+	out[2] = 6 // hlen
+	binary.BigEndian.PutUint32(out[4:8], m.XID)
+	if m.YourIP.IsValid() && m.YourIP.Is4() {
+		y := m.YourIP.As4()
+		copy(out[16:20], y[:])
+	}
+	copy(out[28:34], m.ClientHW[:])
+	copy(out[236:240], magicCookie[:])
+	for _, o := range m.Options {
+		out = append(out, o.Code, uint8(len(o.Data)))
+		out = append(out, o.Data...)
+	}
+	out = append(out, OptEnd)
+	return out
+}
+
+// Unmarshal decodes a message.
+func Unmarshal(data []byte) (*Message, error) {
+	if len(data) < 240 {
+		return nil, fmt.Errorf("dhcp: message too short (%d bytes)", len(data))
+	}
+	if [4]byte(data[236:240]) != magicCookie {
+		return nil, fmt.Errorf("dhcp: bad magic cookie")
+	}
+	m := &Message{
+		Op:  data[0],
+		XID: binary.BigEndian.Uint32(data[4:8]),
+	}
+	copy(m.ClientHW[:], data[28:34])
+	if yi := [4]byte(data[16:20]); yi != [4]byte{} {
+		m.YourIP = netip.AddrFrom4(yi)
+	}
+	opts := data[240:]
+	for len(opts) > 0 {
+		code := opts[0]
+		if code == OptEnd {
+			break
+		}
+		if code == 0 { // pad
+			opts = opts[1:]
+			continue
+		}
+		if len(opts) < 2 {
+			return nil, fmt.Errorf("dhcp: truncated option %d", code)
+		}
+		n := int(opts[1])
+		if len(opts) < 2+n {
+			return nil, fmt.Errorf("dhcp: truncated option %d body", code)
+		}
+		m.Options = append(m.Options, Option{Code: code, Data: append([]byte(nil), opts[2:2+n]...)})
+		opts = opts[2+n:]
+	}
+	return m, nil
+}
+
+// NewDiscover builds a DISCOVER with the identity options a device profile
+// chooses to expose.
+func NewDiscover(hw netx.MAC, xid uint32, hostname, vendorClass string, params []uint8) *Message {
+	m := &Message{Op: OpRequest, XID: xid, ClientHW: hw}
+	m.Options = append(m.Options, Option{OptMsgType, []byte{Discover}})
+	if hostname != "" {
+		m.Options = append(m.Options, Option{OptHostname, []byte(hostname)})
+	}
+	if vendorClass != "" {
+		m.Options = append(m.Options, Option{OptVendorClass, []byte(vendorClass)})
+	}
+	if len(params) > 0 {
+		m.Options = append(m.Options, Option{OptParamRequest, params})
+	}
+	return m
+}
+
+// NewRequest builds a REQUEST for the offered address.
+func NewRequest(hw netx.MAC, xid uint32, offered netip.Addr, hostname, vendorClass string, params []uint8) *Message {
+	m := NewDiscover(hw, xid, hostname, vendorClass, params)
+	m.Options[0].Data[0] = Request
+	ip := offered.As4()
+	m.Options = append(m.Options, Option{OptRequestedIP, ip[:]})
+	return m
+}
+
+// NewReply builds an OFFER or ACK from the server.
+func NewReply(msgType uint8, hw netx.MAC, xid uint32, yours, server, router, dns netip.Addr) *Message {
+	m := &Message{Op: OpReply, XID: xid, ClientHW: hw, YourIP: yours}
+	m.Options = append(m.Options, Option{OptMsgType, []byte{msgType}})
+	sid := server.As4()
+	m.Options = append(m.Options, Option{OptServerID, sid[:]})
+	m.Options = append(m.Options, Option{OptSubnetMask, []byte{255, 255, 255, 0}})
+	r := router.As4()
+	m.Options = append(m.Options, Option{OptRouter, r[:]})
+	d := dns.As4()
+	m.Options = append(m.Options, Option{OptDNS, d[:]})
+	lease := make([]byte, 4)
+	binary.BigEndian.PutUint32(lease, 86400)
+	m.Options = append(m.Options, Option{OptLeaseTime, lease})
+	return m
+}

@@ -1,0 +1,141 @@
+package dhcp
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"iotlan/internal/lan"
+	"iotlan/internal/netx"
+	"iotlan/internal/sim"
+	"iotlan/internal/stack"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	hw := netx.MAC{0x50, 0xc7, 0xbf, 1, 2, 3}
+	m := NewDiscover(hw, 0xdeadbeef, "HS110(US)-BC1F18", "dhcpcd-6.8.2:Linux-3.10", []uint8{1, 3, 6, 15, 17, 69})
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.XID != 0xdeadbeef || got.ClientHW != hw {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Type() != Discover {
+		t.Fatalf("type = %d", got.Type())
+	}
+	if got.Hostname() != "HS110(US)-BC1F18" {
+		t.Fatalf("hostname %q", got.Hostname())
+	}
+	if got.VendorClass() != "dhcpcd-6.8.2:Linux-3.10" {
+		t.Fatalf("vendor class %q", got.VendorClass())
+	}
+	if len(got.ParamRequest()) != 6 || got.ParamRequest()[4] != OptRootPath {
+		t.Fatalf("params %v", got.ParamRequest())
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("short")); err == nil {
+		t.Fatal("short message accepted")
+	}
+	bad := make([]byte, 240)
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("missing magic cookie accepted")
+	}
+}
+
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplyCarriesNetworkConfig(t *testing.T) {
+	router := netip.MustParseAddr("192.168.10.1")
+	m := NewReply(Ack, netx.MAC{1, 2, 3, 4, 5, 6}, 7, netip.MustParseAddr("192.168.10.100"), router, router, router)
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type() != Ack || got.YourIP != netip.MustParseAddr("192.168.10.100") {
+		t.Fatalf("reply: %+v", got)
+	}
+	if len(got.Opt(OptSubnetMask)) != 4 || len(got.Opt(OptRouter)) != 4 || len(got.Opt(OptDNS)) != 4 {
+		t.Fatal("network options missing")
+	}
+}
+
+func TestFullExchangeOverLAN(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	network := lan.New(sched)
+
+	routerHost := stack.NewHost(network, netx.MAC{2, 0, 0, 0, 0, 1}, stack.DefaultPolicy)
+	routerHost.SetIPv4(netip.MustParseAddr("192.168.10.1"))
+	srv := NewServer(routerHost)
+
+	devHost := stack.NewHost(network, netx.MAC{0x50, 0xc7, 0xbf, 0, 0, 9}, stack.DefaultPolicy)
+	cl := &Client{Host: devHost, Hostname: "Wiz-Bulb", VendorClass: "udhcp 1.19.4", Params: []uint8{1, 3, 6}}
+
+	var acked netip.Addr
+	cl.Start(func(ip netip.Addr) { acked = ip })
+	sched.RunFor(5 * time.Second)
+
+	if !acked.IsValid() {
+		t.Fatal("no ACK received")
+	}
+	if devHost.IPv4() != acked {
+		t.Fatalf("host IP %v != acked %v", devHost.IPv4(), acked)
+	}
+	lease := srv.Leases[devHost.MAC()]
+	if lease == nil {
+		t.Fatal("no lease recorded")
+	}
+	if lease.Hostname != "Wiz-Bulb" || lease.VendorClass != "udhcp 1.19.4" {
+		t.Fatalf("lease identity: %+v", lease)
+	}
+}
+
+func TestReservedAddresses(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	network := lan.New(sched)
+	routerHost := stack.NewHost(network, netx.MAC{2, 0, 0, 0, 0, 1}, stack.DefaultPolicy)
+	routerHost.SetIPv4(netip.MustParseAddr("192.168.10.1"))
+	srv := NewServer(routerHost)
+
+	hw := netx.MAC{0x10, 0xd5, 0x61, 0, 0, 7}
+	want := netip.MustParseAddr("192.168.10.42")
+	srv.Reserved[hw] = want
+
+	devHost := stack.NewHost(network, hw, stack.DefaultPolicy)
+	cl := &Client{Host: devHost}
+	var acked netip.Addr
+	cl.Start(func(ip netip.Addr) { acked = ip })
+	sched.RunFor(5 * time.Second)
+	if acked != want {
+		t.Fatalf("reserved address not honoured: got %v", acked)
+	}
+}
+
+func TestTwoClientsGetDistinctAddresses(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	network := lan.New(sched)
+	routerHost := stack.NewHost(network, netx.MAC{2, 0, 0, 0, 0, 1}, stack.DefaultPolicy)
+	routerHost.SetIPv4(netip.MustParseAddr("192.168.10.1"))
+	NewServer(routerHost)
+
+	var ips []netip.Addr
+	for i := byte(0); i < 2; i++ {
+		h := stack.NewHost(network, netx.MAC{4, 0, 0, 0, 0, i}, stack.DefaultPolicy)
+		(&Client{Host: h}).Start(func(ip netip.Addr) { ips = append(ips, ip) })
+	}
+	sched.RunFor(5 * time.Second)
+	if len(ips) != 2 || ips[0] == ips[1] {
+		t.Fatalf("addresses: %v", ips)
+	}
+}

@@ -1,0 +1,127 @@
+package dhcp
+
+import (
+	"net/netip"
+
+	"iotlan/internal/netx"
+	"iotlan/internal/stack"
+)
+
+// Lease is one address assignment, retained for the exposure analysis
+// (hostname and client-version leakage, §5.1).
+type Lease struct {
+	HW          netx.MAC
+	IP          netip.Addr
+	Hostname    string
+	VendorClass string
+	ParamCodes  []uint8
+}
+
+// Server is the router-side DHCP server for a /24.
+type Server struct {
+	Host   *stack.Host
+	Router netip.Addr
+
+	next   uint8 // next host byte to hand out
+	Leases map[netx.MAC]*Lease
+	// Reserved pins specific MACs to addresses (the testbed assigns devices
+	// stable IPs so multi-day captures stay comparable).
+	Reserved map[netx.MAC]netip.Addr
+}
+
+// NewServer starts a DHCP server on the router host (UDP 67).
+func NewServer(h *stack.Host) *Server {
+	s := &Server{
+		Host:     h,
+		Router:   h.IPv4(),
+		next:     100,
+		Leases:   make(map[netx.MAC]*Lease),
+		Reserved: make(map[netx.MAC]netip.Addr),
+	}
+	h.OpenUDP(67, s.onDatagram)
+	return s
+}
+
+func (s *Server) addrFor(hw netx.MAC) netip.Addr {
+	if ip, ok := s.Reserved[hw]; ok {
+		return ip
+	}
+	if l, ok := s.Leases[hw]; ok {
+		return l.IP
+	}
+	base := s.Router.As4()
+	base[3] = s.next
+	s.next++
+	return netip.AddrFrom4(base)
+}
+
+func (s *Server) onDatagram(dg stack.Datagram) {
+	m, err := Unmarshal(dg.Payload)
+	if err != nil || m.Op != OpRequest {
+		return
+	}
+	ip := s.addrFor(m.ClientHW)
+	var reply *Message
+	switch m.Type() {
+	case Discover:
+		reply = NewReply(Offer, m.ClientHW, m.XID, ip, s.Router, s.Router, s.Router)
+	case Request:
+		reply = NewReply(Ack, m.ClientHW, m.XID, ip, s.Router, s.Router, s.Router)
+		s.Leases[m.ClientHW] = &Lease{
+			HW: m.ClientHW, IP: ip,
+			Hostname:    m.Hostname(),
+			VendorClass: m.VendorClass(),
+			ParamCodes:  append([]uint8(nil), m.ParamRequest()...),
+		}
+	default:
+		return
+	}
+	// Replies go to broadcast: the client has no address yet.
+	s.Host.SendUDP(67, netx.Broadcast4, 68, reply.Marshal())
+}
+
+// Client runs the four-way DHCP exchange for a device and invokes done with
+// the acked address.
+type Client struct {
+	Host        *stack.Host
+	Hostname    string
+	VendorClass string
+	// Params is the option-55 parameter request list; devices in the lab
+	// request up to 30 data types including deprecated ones (§5.1).
+	Params []uint8
+
+	// Router is the gateway learned from the ACK's option 3.
+	Router netip.Addr
+
+	xid  uint32
+	done func(ip netip.Addr)
+}
+
+// Start begins the DISCOVER/OFFER/REQUEST/ACK exchange.
+func (c *Client) Start(done func(ip netip.Addr)) {
+	c.done = done
+	c.xid = c.Host.Sched.Rand().Uint32()
+	c.Host.OpenUDP(68, c.onDatagram)
+	d := NewDiscover(c.Host.MAC(), c.xid, c.Hostname, c.VendorClass, c.Params)
+	c.Host.SendUDP(68, netx.Broadcast4, 67, d.Marshal())
+}
+
+func (c *Client) onDatagram(dg stack.Datagram) {
+	m, err := Unmarshal(dg.Payload)
+	if err != nil || m.Op != OpReply || m.XID != c.xid || m.ClientHW != c.Host.MAC() {
+		return
+	}
+	switch m.Type() {
+	case Offer:
+		req := NewRequest(c.Host.MAC(), c.xid, m.YourIP, c.Hostname, c.VendorClass, c.Params)
+		c.Host.SendUDP(68, netx.Broadcast4, 67, req.Marshal())
+	case Ack:
+		c.Host.SetIPv4(m.YourIP)
+		if r := m.Opt(OptRouter); len(r) == 4 {
+			c.Router = netip.AddrFrom4([4]byte(r))
+		}
+		if c.done != nil {
+			c.done(m.YourIP)
+		}
+	}
+}

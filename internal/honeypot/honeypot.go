@@ -1,0 +1,163 @@
+// Package honeypot implements the study's protocol honeypots (§3.1): SSDP,
+// mDNS, UPnP/HTTP and telnet responders that mimic a real device, log every
+// interaction, and embed a unique honeytoken in all identifying fields so
+// information propagation can be traced — if the token later shows up in a
+// cloud upload, the path from LAN exposure to exfiltration is proven.
+//
+// Honeypots run in two modes: attached to the simulated LAN (Attach), or
+// bound to a real network via the standard library (Server).
+package honeypot
+
+import (
+	"crypto/md5"
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"iotlan/internal/dnsmsg"
+	"iotlan/internal/httpx"
+	"iotlan/internal/mdns"
+	"iotlan/internal/netx"
+	"iotlan/internal/ssdp"
+	"iotlan/internal/stack"
+	"iotlan/internal/telnetx"
+)
+
+// Event is one logged interaction with the honeypot.
+type Event struct {
+	Time   time.Time
+	Proto  string // "ssdp", "mdns", "http", "telnet"
+	From   netip.Addr
+	Detail string
+}
+
+// Honeypot is the shared interaction log plus the honeytoken identity.
+type Honeypot struct {
+	// Name labels the emulated device ("fake-hue").
+	Name string
+	// Token is the unique honeytoken embedded in every identifying field
+	// (UUID, mDNS instance, HTTP body, telnet banner).
+	Token string
+
+	Events []Event
+}
+
+// New creates a honeypot with a deterministic token derived from name+seed.
+func New(name string, seed int64) *Honeypot {
+	sum := md5.Sum([]byte(fmt.Sprintf("honeytoken:%s:%d", name, seed)))
+	return &Honeypot{Name: name, Token: fmt.Sprintf("hp-%x", sum[:8])}
+}
+
+func (hp *Honeypot) log(t time.Time, proto string, from netip.Addr, detail string) {
+	hp.Events = append(hp.Events, Event{Time: t, Proto: proto, From: from, Detail: detail})
+}
+
+// Interactions counts events per protocol.
+func (hp *Honeypot) Interactions() map[string]int {
+	m := map[string]int{}
+	for _, e := range hp.Events {
+		m[e.Proto]++
+	}
+	return m
+}
+
+// Visitors lists distinct source addresses, sorted.
+func (hp *Honeypot) Visitors() []netip.Addr {
+	seen := map[netip.Addr]bool{}
+	for _, e := range hp.Events {
+		seen[e.From] = true
+	}
+	out := make([]netip.Addr, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// TokenAppearsIn reports whether the honeytoken occurs in data — the
+// propagation check run over captures and exfiltration records.
+func (hp *Honeypot) TokenAppearsIn(data []byte) bool {
+	token := []byte(hp.Token)
+	for i := 0; i+len(token) <= len(data); i++ {
+		if string(data[i:i+len(token)]) == string(token) {
+			return true
+		}
+	}
+	return false
+}
+
+// Attach wires all honeypot protocols onto a simulated host. The host
+// should already have an address.
+func (hp *Honeypot) Attach(h *stack.Host) {
+	now := func() time.Time { return h.Sched.Now() }
+
+	// SSDP: answer every search, advertising the honeytoken UUID.
+	ad := ssdp.Advertisement{
+		UUID:     hp.Token,
+		Target:   ssdp.TargetBasic,
+		Location: fmt.Sprintf("http://%s:80/description.xml", h.IPv4()),
+		Server:   "Linux/3.14 UPnP/1.0 HoneyBridge/1.0",
+	}
+	resp := &ssdp.Responder{Host: h, Ads: []ssdp.Advertisement{ad}}
+	resp.OnSearch = func(st string, from netip.Addr) {
+		hp.log(now(), "ssdp", from, "M-SEARCH "+st)
+	}
+	resp.Start()
+
+	// mDNS: advertise a token-bearing service and log every query.
+	mresp := &mdns.Responder{
+		Host:     h,
+		Hostname: hp.Name + ".local",
+		Services: []mdns.Service{{
+			Instance: "Honey Hue - " + hp.Token,
+			Type:     "_hue._tcp.local",
+			Port:     80,
+			TXT:      []string{"bridgeid=" + hp.Token},
+		}},
+		AnswerUnicast: true,
+	}
+	mresp.OnQuery = func(q dnsmsg.Question, from netip.Addr) {
+		hp.log(now(), "mdns", from, q.Name)
+	}
+	mresp.Start()
+
+	// HTTP: a device-description endpoint carrying the token.
+	srv := httpx.NewServer(h, 80, "HoneyBridge/1.0")
+	srv.OnRequest = func(req *httpx.Request) {
+		hp.log(now(), "http", req.From, req.Method+" "+req.Path)
+	}
+	desc := &ssdp.Device{
+		FriendlyName: "Honey Hue",
+		Manufacturer: "Honeypot",
+		ModelName:    "HB-1",
+		SerialNumber: hp.Token,
+		UDN:          "uuid:" + hp.Token,
+		DeviceType:   ssdp.TargetBasic,
+	}
+	doc, _ := desc.Document()
+	srv.Handle("/description.xml", func(*httpx.Request) *httpx.Response {
+		return &httpx.Response{Status: 200, Headers: map[string]string{"Content-Type": "text/xml"}, Body: doc}
+	})
+
+	// Telnet: collect credentials.
+	h.ListenTCP(23, func(c *stack.TCPConn) {
+		sess := &telnetx.Session{Banner: "BusyBox v1.12.1 honeypot-" + hp.Token}
+		remote, _ := c.Remote()
+		hp.log(now(), "telnet", remote, "connect")
+		c.Send(sess.Greeting())
+		c.OnData = func(c *stack.TCPConn, data []byte) {
+			before := len(sess.Attempts)
+			reply := sess.Feed(data)
+			if len(sess.Attempts) > before {
+				last := sess.Attempts[len(sess.Attempts)-1]
+				hp.log(now(), "telnet", remote, fmt.Sprintf("login %s:%s", last[0], last[1]))
+			}
+			c.Send(reply)
+		}
+	})
+}
+
+// MulticastGroups the honeypot joins when attached to a simulated host.
+var MulticastGroups = []netip.Addr{netx.SSDPGroup, netx.MDNSv4Group}

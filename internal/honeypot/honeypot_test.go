@@ -1,0 +1,235 @@
+package honeypot
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"iotlan/internal/dnsmsg"
+	"iotlan/internal/lan"
+	"iotlan/internal/mdns"
+	"iotlan/internal/netx"
+	"iotlan/internal/sim"
+	"iotlan/internal/ssdp"
+	"iotlan/internal/stack"
+)
+
+func simSetup() (*sim.Scheduler, *lan.Network, func(byte) *stack.Host) {
+	s := sim.NewScheduler(1)
+	n := lan.New(s)
+	return s, n, func(last byte) *stack.Host {
+		h := stack.NewHost(n, netx.MAC{2, 0, 0, 0, 0, last}, stack.DefaultPolicy)
+		h.SetIPv4(netip.AddrFrom4([4]byte{192, 168, 10, last}))
+		return h
+	}
+}
+
+func TestTokenDeterministic(t *testing.T) {
+	a, b := New("fake-hue", 7), New("fake-hue", 7)
+	if a.Token != b.Token {
+		t.Fatal("token not deterministic")
+	}
+	c := New("fake-hue", 8)
+	if c.Token == a.Token {
+		t.Fatal("different seeds share a token")
+	}
+}
+
+func TestSSDPInteractionLogged(t *testing.T) {
+	sched, _, mk := simSetup()
+	hp := New("fake-hue", 1)
+	hp.Attach(mk(99))
+
+	scanner := mk(50)
+	var usn string
+	ssdp.Search(scanner, ssdp.TargetAll, func(m *ssdp.Message, from netip.Addr) { usn = m.USN() })
+	sched.RunFor(time.Second)
+
+	if !strings.Contains(usn, hp.Token) {
+		t.Fatalf("response USN %q lacks honeytoken", usn)
+	}
+	if hp.Interactions()["ssdp"] != 1 {
+		t.Fatalf("interactions: %v", hp.Interactions())
+	}
+	if len(hp.Visitors()) != 1 || hp.Visitors()[0] != scanner.IPv4() {
+		t.Fatalf("visitors: %v", hp.Visitors())
+	}
+}
+
+func TestMDNSInteractionLogged(t *testing.T) {
+	sched, _, mk := simSetup()
+	hp := New("fake-hue", 1)
+	hp.Attach(mk(99))
+	phone := mk(50)
+	gotToken := false
+	mdns.Listen(phone, func(m *dnsmsg.Message, from netip.Addr) {
+		for _, rr := range append(m.Answers, m.Extra...) {
+			if hp.TokenAppearsIn([]byte(rr.Name + rr.Target + strings.Join(rr.TXT, " "))) {
+				gotToken = true
+			}
+		}
+	})
+	sched.RunFor(100 * time.Millisecond)
+	mdns.Query(phone, "_hue._tcp.local", false)
+	sched.RunFor(time.Second)
+	if hp.Interactions()["mdns"] == 0 {
+		t.Fatalf("mdns query not logged: %v", hp.Interactions())
+	}
+	if !gotToken {
+		t.Fatal("mdns response lacks honeytoken")
+	}
+}
+
+func TestTelnetCredentialCapture(t *testing.T) {
+	sched, _, mk := simSetup()
+	hp := New("fake-cam", 1)
+	hp.Attach(mk(99))
+	attacker := mk(66)
+	conn := attacker.DialTCP(netip.MustParseAddr("192.168.10.99"), 23)
+	step := 0
+	conn.OnData = func(c *stack.TCPConn, data []byte) {
+		switch step {
+		case 0:
+			c.Send([]byte("root\r\n"))
+		case 1:
+			c.Send([]byte("hunter2\r\n"))
+		default:
+			c.Close()
+		}
+		step++
+	}
+	sched.RunFor(5 * time.Second)
+	found := false
+	for _, e := range hp.Events {
+		if e.Proto == "telnet" && e.Detail == "login root:hunter2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("credentials not captured: %+v", hp.Events)
+	}
+}
+
+func TestTokenAppearsIn(t *testing.T) {
+	hp := New("x", 1)
+	if !hp.TokenAppearsIn([]byte("prefix " + hp.Token + " suffix")) {
+		t.Fatal("token not found")
+	}
+	if hp.TokenAppearsIn([]byte("nothing here")) {
+		t.Fatal("false positive")
+	}
+}
+
+func TestRealServerHTTPAndTelnet(t *testing.T) {
+	hp := New("real", 1)
+	srv := &Server{HP: hp, SSDPAddr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0", TelnetAddr: "127.0.0.1:0"}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := srv.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Find the bound addresses.
+	srv.mu.Lock()
+	var httpAddr, telnetAddr string
+	for _, l := range srv.listeners {
+		if tl, ok := l.(net.Listener); ok {
+			if httpAddr == "" {
+				httpAddr = tl.Addr().String()
+			} else {
+				telnetAddr = tl.Addr().String()
+			}
+		}
+	}
+	srv.mu.Unlock()
+
+	// HTTP fetch must return the token-bearing description.
+	conn, err := net.Dial("tcp", httpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "GET /description.xml HTTP/1.1\r\nHost: x\r\n\r\n")
+	buf := make([]byte, 8192)
+	total := 0
+	for total < len(buf) {
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		n, err := conn.Read(buf[total:])
+		total += n
+		if err != nil || hp.TokenAppearsIn(buf[:total]) {
+			break
+		}
+	}
+	conn.Close()
+	if !hp.TokenAppearsIn(buf[:total]) {
+		t.Fatalf("HTTP response lacks token: %q", buf[:total])
+	}
+	n := 0
+
+	// Telnet greeting carries the banner.
+	tc, err := net.Dial("tcp", telnetAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, _ = tc.Read(buf)
+	tc.Close()
+	if !strings.Contains(string(buf[:n]), "login:") {
+		t.Fatalf("telnet greeting: %q", buf[:n])
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		srv.mu.Lock()
+		n := len(hp.Events)
+		srv.mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if got := len(hp.Events); got < 2 {
+		t.Fatalf("real server logged %d events", got)
+	}
+}
+
+func TestRealServerSSDP(t *testing.T) {
+	hp := New("real-ssdp", 1)
+	srv := &Server{HP: hp, SSDPAddr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0", TelnetAddr: "127.0.0.1:0"}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := srv.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.mu.Lock()
+	var udpAddr string
+	for _, l := range srv.listeners {
+		if pc, ok := l.(net.PacketConn); ok {
+			udpAddr = pc.LocalAddr().String()
+		}
+	}
+	srv.mu.Unlock()
+	c, err := net.Dial("udp", udpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write(ssdp.MSearch(ssdp.TargetAll, 1))
+	buf := make([]byte, 2048)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ssdp.Parse(buf[:n])
+	if err != nil || !strings.Contains(m.USN(), hp.Token) {
+		t.Fatalf("SSDP response: %v %q", err, buf[:n])
+	}
+}

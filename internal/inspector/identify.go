@@ -1,0 +1,119 @@
+package inspector
+
+import (
+	"sort"
+	"strings"
+)
+
+// Identity is the inferred vendor/category of a device (Appendix E). The
+// paper used an LLM as a fuzzy matcher over the same metadata; this is a
+// deterministic rule engine over OUI, DHCP hostname, discovery payloads and
+// the noisy user label.
+type Identity struct {
+	Vendor   string
+	Category string
+	// Source names the metadata that decided the inference.
+	Source string
+	// Confident marks multi-source agreement.
+	Confident bool
+}
+
+// Identify infers a device's identity.
+func Identify(d *Device) Identity {
+	votes := map[string]string{} // vendor → source
+	var vendors []string
+	addVote := func(vendor, source string) {
+		vendor = strings.ToLower(strings.TrimSpace(vendor))
+		if vendor == "" {
+			return
+		}
+		if _, seen := votes[vendor]; !seen {
+			vendors = append(vendors, vendor)
+		}
+		votes[vendor] += source + ","
+	}
+
+	// 1. DHCP hostname: "vendor-XXXX" convention.
+	if i := strings.LastIndexByte(d.DHCPHostname, '-'); i > 0 {
+		addVote(d.DHCPHostname[:i], "dhcp")
+	}
+	// 2. Discovery payload leading token.
+	for _, payload := range append(append([]string{}, d.MDNS...), d.SSDP...) {
+		if f := strings.Fields(payloadName(payload)); len(f) > 0 {
+			addVote(f[0], "discovery")
+		}
+	}
+	// 3. User label: first token, fuzzy (prefix) matched against other
+	// votes to absorb misspellings.
+	label := strings.Fields(strings.ToLower(d.UserLabel))
+	if len(label) > 0 {
+		matched := false
+		for _, v := range vendors {
+			if strings.HasPrefix(v, label[0]) || strings.HasPrefix(label[0], v) {
+				addVote(v, "label")
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			addVote(label[0], "label")
+		}
+	}
+
+	best := Identity{Vendor: "unknown", Category: inferCategory(d)}
+	bestScore := 0
+	sort.Strings(vendors)
+	for _, v := range vendors {
+		score := strings.Count(votes[v], ",")
+		if score > bestScore {
+			bestScore = score
+			best.Vendor = v
+			best.Source = strings.TrimSuffix(votes[v], ",")
+			best.Confident = score >= 2
+		}
+	}
+	return best
+}
+
+// payloadName pulls the human-name field out of an mDNS/SSDP payload.
+func payloadName(payload string) string {
+	for _, line := range strings.Split(payload, "\r\n") {
+		if rest, ok := strings.CutPrefix(line, "name: "); ok {
+			return rest
+		}
+	}
+	// mDNS single-line form: everything before the service type.
+	if i := strings.Index(payload, "._"); i > 0 {
+		return payload[:i]
+	}
+	return payload
+}
+
+// inferCategory votes on the device category from labels and payloads.
+func inferCategory(d *Device) string {
+	text := strings.ToLower(d.UserLabel + " " + strings.Join(d.MDNS, " ") + " " + strings.Join(d.SSDP, " "))
+	for _, cat := range []string{"camera", "plug", "bulb", "speaker", "tv", "hub", "thermostat", "doorbell", "printer", "scale", "vacuum"} {
+		if strings.Contains(text, cat) {
+			return cat
+		}
+	}
+	return "unknown"
+}
+
+// Accuracy validates inference against generation ground truth, returning
+// the fraction of devices whose vendor was recovered.
+func Accuracy(ds *Dataset) float64 {
+	total, correct := 0, 0
+	for _, h := range ds.Households {
+		for _, d := range h.Devices {
+			total++
+			if Identify(d).Vendor == strings.ToLower(d.Product.Vendor) {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

@@ -1,0 +1,120 @@
+// Package lan simulates the home network's layer 2: a Wi-Fi access point /
+// switch that delivers Ethernet frames between attached nodes and exposes a
+// capture tap, mirroring the MonIoTr testbed AP running tcpdump.
+package lan
+
+import (
+	"time"
+
+	"iotlan/internal/layers"
+	"iotlan/internal/netx"
+	"iotlan/internal/sim"
+)
+
+// Node is anything attached to the network that can receive frames.
+type Node interface {
+	// MAC returns the node's hardware address; the switch learns it on
+	// Attach (no flooding-based learning is modelled).
+	MAC() netx.MAC
+	// HandleFrame delivers a frame addressed to (or multicast past) the node.
+	// It runs in simulation-event context.
+	HandleFrame(frame []byte)
+}
+
+// TapFunc observes every frame on the network, like tcpdump on the AP.
+type TapFunc func(at time.Time, frame []byte)
+
+// Network is the simulated switch. Frames submitted with Send are delivered
+// after a fixed propagation delay via the shared scheduler, so all traffic
+// interleaves deterministically.
+type Network struct {
+	Sched *sim.Scheduler
+
+	// Latency is the one-way frame propagation delay (default 250µs,
+	// a plausible Wi-Fi LAN RTT/2).
+	Latency time.Duration
+
+	nodes map[netx.MAC]Node
+	order []netx.MAC // deterministic multicast fan-out order
+	taps  []TapFunc
+
+	// FramesDelivered counts deliveries (multicast counts once per receiver).
+	FramesDelivered uint64
+}
+
+// New creates a network on the given scheduler.
+func New(sched *sim.Scheduler) *Network {
+	return &Network{
+		Sched:   sched,
+		Latency: 250 * time.Microsecond,
+		nodes:   make(map[netx.MAC]Node),
+	}
+}
+
+// Attach connects a node. Attaching an already-present MAC replaces the node
+// (a device rejoining after reboot).
+func (n *Network) Attach(node Node) {
+	mac := node.MAC()
+	if _, exists := n.nodes[mac]; !exists {
+		n.order = append(n.order, mac)
+	}
+	n.nodes[mac] = node
+}
+
+// Detach removes the node with the given MAC (phone leaving the house).
+func (n *Network) Detach(mac netx.MAC) {
+	if _, ok := n.nodes[mac]; !ok {
+		return
+	}
+	delete(n.nodes, mac)
+	for i, m := range n.order {
+		if m == mac {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Tap registers a capture callback that sees every frame at send time.
+func (n *Network) Tap(fn TapFunc) { n.taps = append(n.taps, fn) }
+
+// NodeCount reports attached nodes.
+func (n *Network) NodeCount() int { return len(n.nodes) }
+
+// Send submits a frame to the switch. The tap observes it immediately
+// (capture happens at the AP); receivers get it after Latency.
+func (n *Network) Send(frame []byte) {
+	var eth layers.Ethernet
+	if eth.DecodeFromBytes(frame) != nil {
+		return // unframeable garbage is dropped silently, like real L2
+	}
+	for _, tap := range n.taps {
+		tap(n.Sched.Now(), frame)
+	}
+	if eth.Dst.IsMulticast() { // broadcast has the group bit set too
+		// One scheduler event fans out to every receiver: all stations hear
+		// a multicast frame at the same instant, and batching keeps the
+		// event queue small on busy discovery traffic.
+		src := eth.Src
+		n.Sched.After(n.Latency, func() {
+			for _, mac := range n.order {
+				if mac == src {
+					continue
+				}
+				if node, ok := n.nodes[mac]; ok {
+					n.FramesDelivered++
+					node.HandleFrame(frame)
+				}
+			}
+		})
+		return
+	}
+	if node, ok := n.nodes[eth.Dst]; ok {
+		n.Sched.After(n.Latency, func() {
+			n.FramesDelivered++
+			node.HandleFrame(frame)
+		})
+	}
+	// Unknown unicast destinations are dropped: the switch has a complete
+	// station table because every node Attaches explicitly.
+}

@@ -1,0 +1,168 @@
+package lan
+
+import (
+	"testing"
+	"time"
+
+	"iotlan/internal/layers"
+	"iotlan/internal/netx"
+	"iotlan/internal/sim"
+)
+
+// stubNode records frames it receives.
+type stubNode struct {
+	mac    netx.MAC
+	frames [][]byte
+}
+
+func (n *stubNode) MAC() netx.MAC            { return n.mac }
+func (n *stubNode) HandleFrame(frame []byte) { n.frames = append(n.frames, frame) }
+
+func frame(t *testing.T, src, dst netx.MAC) []byte {
+	t.Helper()
+	f, err := layers.Serialize(
+		&layers.Ethernet{Src: src, Dst: dst, EtherType: layers.EtherTypeIPv4},
+		layers.RawPayload(make([]byte, 30)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func setup() (*sim.Scheduler, *Network, *stubNode, *stubNode, *stubNode) {
+	s := sim.NewScheduler(1)
+	n := New(s)
+	a := &stubNode{mac: netx.MAC{2, 0, 0, 0, 0, 1}}
+	b := &stubNode{mac: netx.MAC{2, 0, 0, 0, 0, 2}}
+	c := &stubNode{mac: netx.MAC{2, 0, 0, 0, 0, 3}}
+	n.Attach(a)
+	n.Attach(b)
+	n.Attach(c)
+	return s, n, a, b, c
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	s, n, a, b, c := setup()
+	n.Send(frame(t, a.mac, b.mac))
+	s.RunFor(time.Second)
+	if len(b.frames) != 1 {
+		t.Fatalf("b got %d frames", len(b.frames))
+	}
+	if len(a.frames) != 0 || len(c.frames) != 0 {
+		t.Fatal("unicast leaked to other stations")
+	}
+}
+
+func TestBroadcastExcludesSender(t *testing.T) {
+	s, n, a, b, c := setup()
+	n.Send(frame(t, a.mac, netx.Broadcast))
+	s.RunFor(time.Second)
+	if len(a.frames) != 0 {
+		t.Fatal("sender heard its own broadcast")
+	}
+	if len(b.frames) != 1 || len(c.frames) != 1 {
+		t.Fatalf("broadcast fan-out: b=%d c=%d", len(b.frames), len(c.frames))
+	}
+}
+
+func TestMulticastDelivery(t *testing.T) {
+	s, n, a, b, _ := setup()
+	group := netx.MulticastMAC(netx.MDNSv4Group)
+	n.Send(frame(t, a.mac, group))
+	s.RunFor(time.Second)
+	// L2 multicast reaches every station; filtering happens at L3.
+	if len(b.frames) != 1 {
+		t.Fatalf("multicast not delivered: %d", len(b.frames))
+	}
+}
+
+func TestUnknownUnicastDropped(t *testing.T) {
+	s, n, a, _, _ := setup()
+	n.Send(frame(t, a.mac, netx.MAC{0xde, 0xad, 0, 0, 0, 1}))
+	s.RunFor(time.Second)
+	if n.FramesDelivered != 0 {
+		t.Fatal("frame delivered to nonexistent station")
+	}
+}
+
+func TestTapSeesEverything(t *testing.T) {
+	s, n, a, b, _ := setup()
+	var tapped int
+	var tapTime time.Time
+	n.Tap(func(at time.Time, f []byte) { tapped++; tapTime = at })
+	n.Send(frame(t, a.mac, b.mac))
+	n.Send(frame(t, a.mac, netx.Broadcast))
+	if tapped != 2 {
+		t.Fatalf("tap saw %d frames, want 2 (capture at send time)", tapped)
+	}
+	if !tapTime.Equal(s.Now()) {
+		t.Fatal("tap timestamp should be the send instant")
+	}
+}
+
+func TestDetachAndReattach(t *testing.T) {
+	s, n, a, b, _ := setup()
+	n.Detach(b.mac)
+	n.Send(frame(t, a.mac, b.mac))
+	s.RunFor(time.Second)
+	if len(b.frames) != 0 {
+		t.Fatal("detached node received a frame")
+	}
+	if n.NodeCount() != 2 {
+		t.Fatalf("node count %d", n.NodeCount())
+	}
+	n.Attach(b)
+	n.Send(frame(t, a.mac, b.mac))
+	s.RunFor(time.Second)
+	if len(b.frames) != 1 {
+		t.Fatal("reattached node missed a frame")
+	}
+}
+
+func TestReplaceNodeSameMAC(t *testing.T) {
+	s, n, a, b, _ := setup()
+	b2 := &stubNode{mac: b.mac}
+	n.Attach(b2)
+	n.Send(frame(t, a.mac, b.mac))
+	s.RunFor(time.Second)
+	if len(b.frames) != 0 || len(b2.frames) != 1 {
+		t.Fatalf("replacement routing: old=%d new=%d", len(b.frames), len(b2.frames))
+	}
+	if n.NodeCount() != 3 {
+		t.Fatalf("node count %d after replace", n.NodeCount())
+	}
+}
+
+func TestGarbageFrameDropped(t *testing.T) {
+	s, n, _, _, _ := setup()
+	n.Send([]byte{1, 2, 3}) // unframeable
+	s.RunFor(time.Second)
+	if n.FramesDelivered != 0 {
+		t.Fatal("garbage delivered")
+	}
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	s, n, a, b, _ := setup()
+	start := s.Now()
+	var deliveredAt time.Time
+	done := make(chan struct{})
+	_ = done
+	bWrap := &hookNode{stubNode: b, onFrame: func() { deliveredAt = s.Now() }}
+	n.Attach(bWrap) // replaces b
+	n.Send(frame(t, a.mac, b.mac))
+	s.RunFor(time.Second)
+	if got := deliveredAt.Sub(start); got != n.Latency {
+		t.Fatalf("delivery latency %v, want %v", got, n.Latency)
+	}
+}
+
+type hookNode struct {
+	*stubNode
+	onFrame func()
+}
+
+func (h *hookNode) HandleFrame(frame []byte) {
+	h.onFrame()
+	h.stubNode.HandleFrame(frame)
+}

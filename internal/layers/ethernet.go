@@ -1,0 +1,183 @@
+package layers
+
+import (
+	"encoding/binary"
+
+	"iotlan/internal/netx"
+)
+
+// Ethernet is an Ethernet II frame header, or an 802.3 frame when the
+// type/length field holds a length (<= 1500), in which case the payload is
+// LLC (decoded as LayerTypeLLC).
+type Ethernet struct {
+	Src, Dst  netx.MAC
+	EtherType uint16 // or length for 802.3
+}
+
+// LayerType implements Layer.
+func (*Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// Is8023 reports whether the frame is 802.3 (length field) rather than
+// Ethernet II, meaning its payload is LLC.
+func (e *Ethernet) Is8023() bool { return e.EtherType <= 1500 }
+
+// DecodeFromBytes implements Layer.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < 14 {
+		return ErrShort
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	return nil
+}
+
+// SerializeTo implements Serializable.
+func (e *Ethernet) SerializeTo(payload []byte) ([]byte, error) {
+	out := make([]byte, 14+len(payload))
+	copy(out[0:6], e.Dst[:])
+	copy(out[6:12], e.Src[:])
+	et := e.EtherType
+	if e.Is8023() {
+		// 802.3: the field carries the payload length.
+		et = uint16(len(payload))
+	}
+	binary.BigEndian.PutUint16(out[12:14], et)
+	copy(out[14:], payload)
+	return out, nil
+}
+
+// NextLayerType maps the EtherType to the contained protocol.
+func (e *Ethernet) NextLayerType() LayerType {
+	if e.Is8023() {
+		return LayerTypeLLC
+	}
+	switch e.EtherType {
+	case EtherTypeIPv4:
+		return LayerTypeIPv4
+	case EtherTypeARP:
+		return LayerTypeARP
+	case EtherTypeIPv6:
+		return LayerTypeIPv6
+	case EtherTypeEAPOL:
+		return LayerTypeEAPOL
+	}
+	return LayerTypeUnknown
+}
+
+// ARP is an Ethernet/IPv4 ARP packet (RFC 826).
+type ARP struct {
+	Op       uint16 // 1 request, 2 reply
+	SenderHW netx.MAC
+	SenderIP [4]byte
+	TargetHW netx.MAC
+	TargetIP [4]byte
+}
+
+// ARP operations.
+const (
+	ARPRequest = 1
+	ARPReply   = 2
+)
+
+// LayerType implements Layer.
+func (*ARP) LayerType() LayerType { return LayerTypeARP }
+
+// DecodeFromBytes implements Layer.
+func (a *ARP) DecodeFromBytes(data []byte) error {
+	if len(data) < 28 {
+		return ErrShort
+	}
+	if binary.BigEndian.Uint16(data[0:2]) != 1 || binary.BigEndian.Uint16(data[2:4]) != EtherTypeIPv4 {
+		return ErrBadVersion
+	}
+	a.Op = binary.BigEndian.Uint16(data[6:8])
+	copy(a.SenderHW[:], data[8:14])
+	copy(a.SenderIP[:], data[14:18])
+	copy(a.TargetHW[:], data[18:24])
+	copy(a.TargetIP[:], data[24:28])
+	return nil
+}
+
+// SerializeTo implements Serializable.
+func (a *ARP) SerializeTo(payload []byte) ([]byte, error) {
+	out := make([]byte, 28+len(payload))
+	binary.BigEndian.PutUint16(out[0:2], 1) // hardware type: Ethernet
+	binary.BigEndian.PutUint16(out[2:4], EtherTypeIPv4)
+	out[4], out[5] = 6, 4 // hlen, plen
+	binary.BigEndian.PutUint16(out[6:8], a.Op)
+	copy(out[8:14], a.SenderHW[:])
+	copy(out[14:18], a.SenderIP[:])
+	copy(out[18:24], a.TargetHW[:])
+	copy(out[24:28], a.TargetIP[:])
+	copy(out[28:], payload)
+	return out, nil
+}
+
+// EAPOL is an 802.1X EAPOL header; the study only needs its presence and
+// packet type (EAPOL-Key handshakes on Wi-Fi associations).
+type EAPOL struct {
+	Version    uint8
+	PacketType uint8 // 3 = EAPOL-Key
+	Body       []byte
+}
+
+// LayerType implements Layer.
+func (*EAPOL) LayerType() LayerType { return LayerTypeEAPOL }
+
+// DecodeFromBytes implements Layer.
+func (e *EAPOL) DecodeFromBytes(data []byte) error {
+	if len(data) < 4 {
+		return ErrShort
+	}
+	e.Version = data[0]
+	e.PacketType = data[1]
+	n := int(binary.BigEndian.Uint16(data[2:4]))
+	if len(data) < 4+n {
+		return ErrShort
+	}
+	e.Body = data[4 : 4+n]
+	return nil
+}
+
+// SerializeTo implements Serializable.
+func (e *EAPOL) SerializeTo(payload []byte) ([]byte, error) {
+	out := make([]byte, 4+len(e.Body)+len(payload))
+	out[0], out[1] = e.Version, e.PacketType
+	binary.BigEndian.PutUint16(out[2:4], uint16(len(e.Body)))
+	copy(out[4:], e.Body)
+	copy(out[4+len(e.Body):], payload)
+	return out, nil
+}
+
+// LLC is an 802.2 LLC header; devices in the study emit XID frames
+// (DSAP/SSAP 0, control 0xAF/0xBF) for link-layer discovery.
+type LLC struct {
+	DSAP, SSAP, Control uint8
+	Info                []byte
+}
+
+// LayerType implements Layer.
+func (*LLC) LayerType() LayerType { return LayerTypeLLC }
+
+// IsXID reports whether the control field encodes an XID exchange.
+func (l *LLC) IsXID() bool { return l.Control == 0xaf || l.Control == 0xbf }
+
+// DecodeFromBytes implements Layer.
+func (l *LLC) DecodeFromBytes(data []byte) error {
+	if len(data) < 3 {
+		return ErrShort
+	}
+	l.DSAP, l.SSAP, l.Control = data[0], data[1], data[2]
+	l.Info = data[3:]
+	return nil
+}
+
+// SerializeTo implements Serializable.
+func (l *LLC) SerializeTo(payload []byte) ([]byte, error) {
+	out := make([]byte, 3+len(l.Info)+len(payload))
+	out[0], out[1], out[2] = l.DSAP, l.SSAP, l.Control
+	copy(out[3:], l.Info)
+	copy(out[3+len(l.Info):], payload)
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package layers
+
+import (
+	"encoding/binary"
+	"net/netip"
+
+	"iotlan/internal/netx"
+)
+
+// IPv4 is an IPv4 header (RFC 791) without options.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Src, Dst netip.Addr
+	// Length is filled in on decode; on serialize it is computed.
+	Length uint16
+}
+
+// LayerType implements Layer.
+func (*IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// DecodeFromBytes implements Layer.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < 20 {
+		return ErrShort
+	}
+	if data[0]>>4 != 4 {
+		return ErrBadVersion
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < 20 || len(data) < ihl {
+		return ErrShort
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Src = netip.AddrFrom4([4]byte(data[12:16]))
+	ip.Dst = netip.AddrFrom4([4]byte(data[16:20]))
+	return nil
+}
+
+// HeaderLen is the fixed header size we emit (no options).
+const ipv4HeaderLen = 20
+
+// Payload returns the bytes after the header, bounded by the total length.
+func (ip *IPv4) Payload(data []byte) []byte {
+	ihl := int(data[0]&0x0f) * 4
+	end := int(ip.Length)
+	if end > len(data) || end < ihl {
+		end = len(data)
+	}
+	return data[ihl:end]
+}
+
+// SerializeTo implements Serializable.
+func (ip *IPv4) SerializeTo(payload []byte) ([]byte, error) {
+	out := make([]byte, ipv4HeaderLen+len(payload))
+	out[0] = 0x45
+	out[1] = ip.TOS
+	binary.BigEndian.PutUint16(out[2:4], uint16(len(out)))
+	binary.BigEndian.PutUint16(out[4:6], ip.ID)
+	ttl := ip.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	out[8] = ttl
+	out[9] = ip.Protocol
+	// An invalid Src encodes as 0.0.0.0 — the DHCP client's state before
+	// it has an address.
+	if ip.Src.IsValid() {
+		src := ip.Src.As4()
+		copy(out[12:16], src[:])
+	}
+	if ip.Dst.IsValid() {
+		dst := ip.Dst.As4()
+		copy(out[16:20], dst[:])
+	}
+	cs := netx.Checksum(out[:ipv4HeaderLen], 0)
+	binary.BigEndian.PutUint16(out[10:12], cs)
+	copy(out[ipv4HeaderLen:], payload)
+	return out, nil
+}
+
+// NextLayerType maps the protocol field to the contained layer.
+func (ip *IPv4) NextLayerType() LayerType { return ipProtoLayer(ip.Protocol) }
+
+func ipProtoLayer(p uint8) LayerType {
+	switch p {
+	case IPProtoICMP:
+		return LayerTypeICMPv4
+	case IPProtoIGMP:
+		return LayerTypeIGMP
+	case IPProtoTCP:
+		return LayerTypeTCP
+	case IPProtoUDP:
+		return LayerTypeUDP
+	case IPProtoICMPv6:
+		return LayerTypeICMPv6
+	}
+	return LayerTypeUnknown
+}
+
+// IPv6 is an IPv6 fixed header (RFC 8200); extension headers are not
+// modelled (the study's IPv6 traffic is NDP, mDNS and Matter over UDP).
+type IPv6 struct {
+	TrafficClass uint8
+	NextHeader   uint8
+	HopLimit     uint8
+	Src, Dst     netip.Addr
+	Length       uint16
+}
+
+// LayerType implements Layer.
+func (*IPv6) LayerType() LayerType { return LayerTypeIPv6 }
+
+// DecodeFromBytes implements Layer.
+func (ip *IPv6) DecodeFromBytes(data []byte) error {
+	if len(data) < 40 {
+		return ErrShort
+	}
+	if data[0]>>4 != 6 {
+		return ErrBadVersion
+	}
+	ip.TrafficClass = data[0]<<4 | data[1]>>4
+	ip.Length = binary.BigEndian.Uint16(data[4:6])
+	ip.NextHeader = data[6]
+	ip.HopLimit = data[7]
+	ip.Src = netip.AddrFrom16([16]byte(data[8:24]))
+	ip.Dst = netip.AddrFrom16([16]byte(data[24:40]))
+	return nil
+}
+
+// Payload returns the bytes after the fixed header, bounded by length.
+func (ip *IPv6) Payload(data []byte) []byte {
+	end := 40 + int(ip.Length)
+	if end > len(data) {
+		end = len(data)
+	}
+	return data[40:end]
+}
+
+// SerializeTo implements Serializable.
+func (ip *IPv6) SerializeTo(payload []byte) ([]byte, error) {
+	out := make([]byte, 40+len(payload))
+	out[0] = 0x60 | ip.TrafficClass>>4
+	binary.BigEndian.PutUint16(out[4:6], uint16(len(payload)))
+	out[6] = ip.NextHeader
+	hl := ip.HopLimit
+	if hl == 0 {
+		hl = 255
+	}
+	out[7] = hl
+	src, dst := ip.Src.As16(), ip.Dst.As16()
+	copy(out[8:24], src[:])
+	copy(out[24:40], dst[:])
+	copy(out[40:], payload)
+	return out, nil
+}
+
+// NextLayerType maps the next-header field to the contained layer.
+func (ip *IPv6) NextLayerType() LayerType { return ipProtoLayer(ip.NextHeader) }

@@ -1,0 +1,125 @@
+// Package layers implements byte-accurate encoding and decoding of the
+// link-, network- and transport-layer protocols observed in the study:
+// Ethernet, ARP, IPv4, IPv6, UDP, TCP, ICMPv4, ICMPv6 (NDP), IGMP, EAPOL and
+// LLC/XID. The design follows gopacket: each protocol is a Layer with
+// DecodeFromBytes and SerializeTo, and Packet lazily assembles a layer stack
+// from raw frame bytes.
+package layers
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LayerType identifies a protocol layer.
+type LayerType uint16
+
+// Layer types for every protocol the decoder understands.
+const (
+	LayerTypeUnknown LayerType = iota
+	LayerTypeEthernet
+	LayerTypeARP
+	LayerTypeIPv4
+	LayerTypeIPv6
+	LayerTypeUDP
+	LayerTypeTCP
+	LayerTypeICMPv4
+	LayerTypeICMPv6
+	LayerTypeIGMP
+	LayerTypeEAPOL
+	LayerTypeLLC
+	LayerTypePayload
+)
+
+var layerTypeNames = map[LayerType]string{
+	LayerTypeUnknown:  "Unknown",
+	LayerTypeEthernet: "Ethernet",
+	LayerTypeARP:      "ARP",
+	LayerTypeIPv4:     "IPv4",
+	LayerTypeIPv6:     "IPv6",
+	LayerTypeUDP:      "UDP",
+	LayerTypeTCP:      "TCP",
+	LayerTypeICMPv4:   "ICMP",
+	LayerTypeICMPv6:   "ICMPv6",
+	LayerTypeIGMP:     "IGMP",
+	LayerTypeEAPOL:    "EAPOL",
+	LayerTypeLLC:      "XID/LLC",
+	LayerTypePayload:  "Payload",
+}
+
+// String returns the protocol name used in reports (matches Figure 2 labels).
+func (t LayerType) String() string {
+	if s, ok := layerTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("LayerType(%d)", uint16(t))
+}
+
+// Layer is one decoded protocol layer.
+type Layer interface {
+	// LayerType identifies the protocol.
+	LayerType() LayerType
+	// DecodeFromBytes parses the layer from data.
+	DecodeFromBytes(data []byte) error
+	// SerializeTo appends the wire form of the layer (with payload already
+	// in buf semantics handled by the caller); see Serialize.
+	SerializeTo(payload []byte) ([]byte, error)
+}
+
+// Common decode errors.
+var (
+	ErrShort       = errors.New("layers: truncated packet")
+	ErrBadChecksum = errors.New("layers: bad checksum")
+	ErrBadVersion  = errors.New("layers: bad version")
+)
+
+// EtherTypes and IP protocol numbers used across the package.
+const (
+	EtherTypeIPv4  = 0x0800
+	EtherTypeARP   = 0x0806
+	EtherTypeIPv6  = 0x86dd
+	EtherTypeEAPOL = 0x888e
+
+	IPProtoICMP   = 1
+	IPProtoIGMP   = 2
+	IPProtoTCP    = 6
+	IPProtoUDP    = 17
+	IPProtoICMPv6 = 58
+)
+
+// Serialize builds a frame from layers outermost-first, e.g.
+// Serialize(eth, ip, udp, payload). Each layer's SerializeTo receives the
+// serialized bytes of everything after it so it can fill lengths/checksums.
+func Serialize(ls ...Serializable) ([]byte, error) {
+	var payload []byte
+	for i := len(ls) - 1; i >= 0; i-- {
+		out, err := ls[i].SerializeTo(payload)
+		if err != nil {
+			return nil, err
+		}
+		payload = out
+	}
+	return payload, nil
+}
+
+// Serializable is the encoding half of Layer; RawPayload also satisfies it.
+type Serializable interface {
+	SerializeTo(payload []byte) ([]byte, error)
+}
+
+// RawPayload is an opaque application payload at the bottom of a stack.
+type RawPayload []byte
+
+// LayerType implements Layer.
+func (RawPayload) LayerType() LayerType { return LayerTypePayload }
+
+// DecodeFromBytes implements Layer.
+func (p *RawPayload) DecodeFromBytes(data []byte) error {
+	*p = RawPayload(data)
+	return nil
+}
+
+// SerializeTo implements Serializable.
+func (p RawPayload) SerializeTo(payload []byte) ([]byte, error) {
+	return append([]byte(p), payload...), nil
+}

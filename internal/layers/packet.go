@@ -1,0 +1,222 @@
+package layers
+
+import (
+	"net/netip"
+
+	"iotlan/internal/netx"
+)
+
+// Packet is a fully decoded frame: the layer stack plus convenience accessors
+// used throughout the capture-analysis pipeline. Decoding is eager (the
+// analysis touches every layer anyway) but allocation-light: the common
+// layers live inline in the struct.
+type Packet struct {
+	Data []byte
+
+	Eth    Ethernet
+	HasEth bool
+
+	ARP    ARP
+	HasARP bool
+
+	IP4    IPv4
+	HasIP4 bool
+	IP6    IPv6
+	HasIP6 bool
+
+	UDP    UDP
+	HasUDP bool
+	TCP    TCP
+	HasTCP bool
+
+	ICMP4    ICMPv4
+	HasICMP4 bool
+	ICMP6    ICMPv6
+	HasICMP6 bool
+
+	IGMP    IGMP
+	HasIGMP bool
+
+	EAPOL    EAPOL
+	HasEAPOL bool
+
+	LLC    LLC
+	HasLLC bool
+
+	// AppPayload is the transport payload (UDP datagram / TCP segment data),
+	// nil when there is no transport layer or no payload.
+	AppPayload []byte
+
+	// Err records the first decode failure, mirroring gopacket's ErrorLayer.
+	Err error
+}
+
+// Decode parses an Ethernet frame into a Packet.
+func Decode(frame []byte) *Packet {
+	p := &Packet{}
+	p.DecodeInto(frame)
+	return p
+}
+
+// DecodeInto re-parses a frame into an existing Packet, for
+// DecodingLayerParser-style reuse in hot loops (see the ablation bench).
+func (p *Packet) DecodeInto(frame []byte) {
+	*p = Packet{Data: frame}
+	if err := p.Eth.DecodeFromBytes(frame); err != nil {
+		p.Err = err
+		return
+	}
+	p.HasEth = true
+	body := frame[14:]
+	switch p.Eth.NextLayerType() {
+	case LayerTypeARP:
+		if err := p.ARP.DecodeFromBytes(body); err != nil {
+			p.Err = err
+			return
+		}
+		p.HasARP = true
+	case LayerTypeEAPOL:
+		if err := p.EAPOL.DecodeFromBytes(body); err != nil {
+			p.Err = err
+			return
+		}
+		p.HasEAPOL = true
+	case LayerTypeLLC:
+		if err := p.LLC.DecodeFromBytes(body); err != nil {
+			p.Err = err
+			return
+		}
+		p.HasLLC = true
+	case LayerTypeIPv4:
+		if err := p.IP4.DecodeFromBytes(body); err != nil {
+			p.Err = err
+			return
+		}
+		p.HasIP4 = true
+		p.decodeTransport(p.IP4.NextLayerType(), p.IP4.Payload(body), p.IP4.Src, p.IP4.Dst)
+	case LayerTypeIPv6:
+		if err := p.IP6.DecodeFromBytes(body); err != nil {
+			p.Err = err
+			return
+		}
+		p.HasIP6 = true
+		p.decodeTransport(p.IP6.NextLayerType(), p.IP6.Payload(body), p.IP6.Src, p.IP6.Dst)
+	}
+}
+
+func (p *Packet) decodeTransport(t LayerType, body []byte, src, dst netip.Addr) {
+	switch t {
+	case LayerTypeUDP:
+		if err := p.UDP.DecodeFromBytes(body); err != nil {
+			p.Err = err
+			return
+		}
+		p.UDP.SetAddrs(src, dst)
+		p.HasUDP = true
+		p.AppPayload = p.UDP.Payload(body)
+	case LayerTypeTCP:
+		if err := p.TCP.DecodeFromBytes(body); err != nil {
+			p.Err = err
+			return
+		}
+		p.TCP.SetAddrs(src, dst)
+		p.HasTCP = true
+		p.AppPayload = p.TCP.Payload(body)
+	case LayerTypeICMPv4:
+		if err := p.ICMP4.DecodeFromBytes(body); err != nil {
+			p.Err = err
+			return
+		}
+		p.HasICMP4 = true
+	case LayerTypeICMPv6:
+		if err := p.ICMP6.DecodeFromBytes(body); err != nil {
+			p.Err = err
+			return
+		}
+		p.HasICMP6 = true
+	case LayerTypeIGMP:
+		if err := p.IGMP.DecodeFromBytes(body); err != nil {
+			p.Err = err
+			return
+		}
+		p.HasIGMP = true
+	}
+}
+
+// HasIP reports whether the packet has a network layer.
+func (p *Packet) HasIP() bool { return p.HasIP4 || p.HasIP6 }
+
+// SrcIP returns the network-layer source, or the zero Addr for non-IP.
+func (p *Packet) SrcIP() netip.Addr {
+	switch {
+	case p.HasIP4:
+		return p.IP4.Src
+	case p.HasIP6:
+		return p.IP6.Src
+	}
+	return netip.Addr{}
+}
+
+// DstIP returns the network-layer destination, or the zero Addr for non-IP.
+func (p *Packet) DstIP() netip.Addr {
+	switch {
+	case p.HasIP4:
+		return p.IP4.Dst
+	case p.HasIP6:
+		return p.IP6.Dst
+	}
+	return netip.Addr{}
+}
+
+// Transport returns ("udp"|"tcp"|""), src port, dst port.
+func (p *Packet) Transport() (proto string, src, dst uint16) {
+	switch {
+	case p.HasUDP:
+		return "udp", p.UDP.SrcPort, p.UDP.DstPort
+	case p.HasTCP:
+		return "tcp", p.TCP.SrcPort, p.TCP.DstPort
+	}
+	return "", 0, 0
+}
+
+// IsLocal applies the Appendix C.1 local-traffic filter: local unicast IP
+// (both endpoints private), any multicast/broadcast destination, or non-IP
+// unicast.
+func (p *Packet) IsLocal() bool {
+	if !p.HasEth {
+		return false
+	}
+	if p.Eth.Dst.IsMulticast() { // covers broadcast too (I/G bit)
+		return true
+	}
+	if !p.HasIP() {
+		return true // non-IP unicast (ARP replies, EAPOL, LLC)
+	}
+	return netx.IsPrivate(p.SrcIP()) && netx.IsPrivate(p.DstIP())
+}
+
+// L3Name returns the report label for the packet's lowest interesting layer,
+// matching Figure 2's x-axis vocabulary for non-application protocols.
+func (p *Packet) L3Name() string {
+	switch {
+	case p.HasARP:
+		return "ARP"
+	case p.HasEAPOL:
+		return "EAPOL"
+	case p.HasLLC:
+		return "XID/LLC"
+	case p.HasICMP4:
+		return "ICMP"
+	case p.HasICMP6:
+		return "ICMPv6"
+	case p.HasIGMP:
+		return "IGMP"
+	case p.HasUDP:
+		return "UDP"
+	case p.HasTCP:
+		return "TCP"
+	case p.HasIP():
+		return "UNKNOWN-L3"
+	}
+	return "UNKNOWN-L2"
+}

@@ -1,0 +1,323 @@
+package layers
+
+import (
+	"encoding/binary"
+	"net/netip"
+
+	"iotlan/internal/netx"
+)
+
+// UDP is a UDP header (RFC 768). Src/Dst addresses must be set before
+// SerializeTo so the pseudo-header checksum can be computed; on decode they
+// are provided by the enclosing IP layer via SetAddrs.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	srcIP, dstIP     netip.Addr
+}
+
+// LayerType implements Layer.
+func (*UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// SetAddrs supplies the IP endpoints used for the checksum pseudo-header.
+func (u *UDP) SetAddrs(src, dst netip.Addr) { u.srcIP, u.dstIP = src, dst }
+
+// DecodeFromBytes implements Layer.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < 8 {
+		return ErrShort
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	return nil
+}
+
+// Payload returns the datagram payload, bounded by the length field.
+func (u *UDP) Payload(data []byte) []byte {
+	end := int(u.Length)
+	if end > len(data) || end < 8 {
+		end = len(data)
+	}
+	return data[8:end]
+}
+
+// SerializeTo implements Serializable.
+func (u *UDP) SerializeTo(payload []byte) ([]byte, error) {
+	out := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint16(out[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(out[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(out[4:6], uint16(len(out)))
+	copy(out[8:], payload)
+	if u.srcIP.IsValid() && u.dstIP.IsValid() {
+		sum := netx.PseudoHeaderSum(u.srcIP, u.dstIP, IPProtoUDP, len(out))
+		cs := netx.Checksum(out, sum)
+		if cs == 0 {
+			cs = 0xffff
+		}
+		binary.BigEndian.PutUint16(out[6:8], cs)
+	}
+	return out, nil
+}
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+)
+
+// TCP is a TCP header (RFC 793) without options.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	dataOffset       int
+	srcIP, dstIP     netip.Addr
+}
+
+// LayerType implements Layer.
+func (*TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// SetAddrs supplies the IP endpoints used for the checksum pseudo-header.
+func (t *TCP) SetAddrs(src, dst netip.Addr) { t.srcIP, t.dstIP = src, dst }
+
+// FlagSet reports whether all bits in f are set.
+func (t *TCP) FlagSet(f uint8) bool { return t.Flags&f == f }
+
+// DecodeFromBytes implements Layer.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < 20 {
+		return ErrShort
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.dataOffset = int(data[12]>>4) * 4
+	if t.dataOffset < 20 || len(data) < t.dataOffset {
+		return ErrShort
+	}
+	t.Flags = data[13]
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	return nil
+}
+
+// Payload returns the segment payload.
+func (t *TCP) Payload(data []byte) []byte {
+	off := t.dataOffset
+	if off == 0 {
+		off = 20
+	}
+	if off > len(data) {
+		return nil
+	}
+	return data[off:]
+}
+
+// SerializeTo implements Serializable.
+func (t *TCP) SerializeTo(payload []byte) ([]byte, error) {
+	out := make([]byte, 20+len(payload))
+	binary.BigEndian.PutUint16(out[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(out[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(out[4:8], t.Seq)
+	binary.BigEndian.PutUint32(out[8:12], t.Ack)
+	out[12] = 5 << 4
+	out[13] = t.Flags
+	w := t.Window
+	if w == 0 {
+		w = 65535
+	}
+	binary.BigEndian.PutUint16(out[14:16], w)
+	copy(out[20:], payload)
+	if t.srcIP.IsValid() && t.dstIP.IsValid() {
+		sum := netx.PseudoHeaderSum(t.srcIP, t.dstIP, IPProtoTCP, len(out))
+		binary.BigEndian.PutUint16(out[16:18], netx.Checksum(out, sum))
+	}
+	return out, nil
+}
+
+// ICMPv4 message types used in the study.
+const (
+	ICMPv4EchoReply   = 0
+	ICMPv4Unreachable = 3
+	ICMPv4Echo        = 8
+)
+
+// ICMPv4 is an ICMP message (RFC 792).
+type ICMPv4 struct {
+	Type, Code uint8
+	ID, Seq    uint16
+	Data       []byte
+}
+
+// LayerType implements Layer.
+func (*ICMPv4) LayerType() LayerType { return LayerTypeICMPv4 }
+
+// DecodeFromBytes implements Layer.
+func (ic *ICMPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < 8 {
+		return ErrShort
+	}
+	ic.Type, ic.Code = data[0], data[1]
+	ic.ID = binary.BigEndian.Uint16(data[4:6])
+	ic.Seq = binary.BigEndian.Uint16(data[6:8])
+	ic.Data = data[8:]
+	return nil
+}
+
+// SerializeTo implements Serializable.
+func (ic *ICMPv4) SerializeTo(payload []byte) ([]byte, error) {
+	out := make([]byte, 8+len(ic.Data)+len(payload))
+	out[0], out[1] = ic.Type, ic.Code
+	binary.BigEndian.PutUint16(out[4:6], ic.ID)
+	binary.BigEndian.PutUint16(out[6:8], ic.Seq)
+	copy(out[8:], ic.Data)
+	copy(out[8+len(ic.Data):], payload)
+	binary.BigEndian.PutUint16(out[2:4], netx.Checksum(out, 0))
+	return out, nil
+}
+
+// ICMPv6 message types used in the study (NDP per RFC 4861).
+const (
+	ICMPv6EchoRequest     = 128
+	ICMPv6EchoReply       = 129
+	ICMPv6RouterSolicit   = 133
+	ICMPv6RouterAdvert    = 134
+	ICMPv6NeighborSolicit = 135
+	ICMPv6NeighborAdvert  = 136
+	ICMPv6MLDv2Report     = 143
+)
+
+// ICMPv6 is an ICMPv6 message. For neighbor solicitation/advertisement the
+// Target field holds the subject address and LinkAddr the source/target
+// link-layer address option — the MAC exposure channel §5.1 describes.
+type ICMPv6 struct {
+	Type, Code uint8
+	Target     netip.Addr
+	LinkAddr   netx.MAC
+	HasLink    bool
+	Data       []byte
+}
+
+// LayerType implements Layer.
+func (*ICMPv6) LayerType() LayerType { return LayerTypeICMPv6 }
+
+// DecodeFromBytes implements Layer.
+func (ic *ICMPv6) DecodeFromBytes(data []byte) error {
+	if len(data) < 4 {
+		return ErrShort
+	}
+	ic.Type, ic.Code = data[0], data[1]
+	ic.Data = data[4:]
+	ic.HasLink = false
+	if ic.Type == ICMPv6NeighborSolicit || ic.Type == ICMPv6NeighborAdvert {
+		if len(data) < 24 {
+			return ErrShort
+		}
+		ic.Target = netip.AddrFrom16([16]byte(data[8:24]))
+		// Options: type 1 (source LL addr) or 2 (target LL addr), len 1 (8B).
+		opts := data[24:]
+		for len(opts) >= 8 {
+			if (opts[0] == 1 || opts[0] == 2) && opts[1] == 1 {
+				copy(ic.LinkAddr[:], opts[2:8])
+				ic.HasLink = true
+			}
+			n := int(opts[1]) * 8
+			if n == 0 || n > len(opts) {
+				break
+			}
+			opts = opts[n:]
+		}
+	}
+	return nil
+}
+
+// SerializeTo implements Serializable.
+func (ic *ICMPv6) SerializeTo(payload []byte) ([]byte, error) {
+	body := ic.Data
+	if ic.Type == ICMPv6NeighborSolicit || ic.Type == ICMPv6NeighborAdvert {
+		b := make([]byte, 20)
+		tgt := ic.Target.As16()
+		copy(b[4:20], tgt[:])
+		if ic.HasLink {
+			opt := make([]byte, 8)
+			if ic.Type == ICMPv6NeighborSolicit {
+				opt[0] = 1
+			} else {
+				opt[0] = 2
+			}
+			opt[1] = 1
+			copy(opt[2:8], ic.LinkAddr[:])
+			b = append(b, opt...)
+		}
+		body = b
+	}
+	out := make([]byte, 4+len(body)+len(payload))
+	out[0], out[1] = ic.Type, ic.Code
+	copy(out[4:], body)
+	copy(out[4+len(body):], payload)
+	// Checksum over pseudo-header is filled by the stack; a plain sum keeps
+	// offline-constructed packets self-consistent.
+	binary.BigEndian.PutUint16(out[2:4], netx.Checksum(out, 0))
+	return out, nil
+}
+
+// IGMP group membership message types.
+const (
+	IGMPQuery    = 0x11
+	IGMPv2Report = 0x16
+	IGMPv3Report = 0x22
+	IGMPLeave    = 0x17
+)
+
+// IGMP is an IGMPv2/v3 membership message (RFC 2236 / 3376, v3 reports
+// carry a single group record, which covers the study's traffic).
+type IGMP struct {
+	Type  uint8
+	Group netip.Addr
+}
+
+// LayerType implements Layer.
+func (*IGMP) LayerType() LayerType { return LayerTypeIGMP }
+
+// DecodeFromBytes implements Layer.
+func (g *IGMP) DecodeFromBytes(data []byte) error {
+	if len(data) < 8 {
+		return ErrShort
+	}
+	g.Type = data[0]
+	if g.Type == IGMPv3Report {
+		if len(data) < 16 {
+			return ErrShort
+		}
+		g.Group = netip.AddrFrom4([4]byte(data[12:16]))
+	} else {
+		g.Group = netip.AddrFrom4([4]byte(data[4:8]))
+	}
+	return nil
+}
+
+// SerializeTo implements Serializable.
+func (g *IGMP) SerializeTo(payload []byte) ([]byte, error) {
+	var out []byte
+	grp := g.Group.As4()
+	if g.Type == IGMPv3Report {
+		out = make([]byte, 16+len(payload))
+		out[0] = g.Type
+		binary.BigEndian.PutUint16(out[6:8], 1) // one group record
+		out[8] = 4                              // CHANGE_TO_EXCLUDE (join)
+		copy(out[12:16], grp[:])
+	} else {
+		out = make([]byte, 8+len(payload))
+		out[0] = g.Type
+		copy(out[4:8], grp[:])
+	}
+	binary.BigEndian.PutUint16(out[2:4], netx.Checksum(out, 0))
+	copy(out[len(out)-len(payload):], payload)
+	return out, nil
+}

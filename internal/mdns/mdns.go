@@ -1,0 +1,208 @@
+// Package mdns implements the multicast DNS responder and querier (RFC 6762
+// subset) that drive the study's richest identifier-exposure channel:
+// service instance names carrying MAC addresses, device IDs, serial numbers
+// and user-chosen display names (§5.1, Table 5).
+package mdns
+
+import (
+	"net/netip"
+	"strings"
+
+	"iotlan/internal/dnsmsg"
+	"iotlan/internal/netx"
+	"iotlan/internal/stack"
+)
+
+// Port is the mDNS UDP port.
+const Port = 5353
+
+// ServiceEnum is the DNS-SD meta-query name.
+const ServiceEnum = "_services._dns-sd._udp.local"
+
+// Service is one advertised DNS-SD service instance.
+type Service struct {
+	// Instance is the service instance label, e.g.
+	// "Philips Hue - 685F61". Identifier exposure lives here.
+	Instance string
+	// Type is the service type, e.g. "_hue._tcp.local".
+	Type string
+	// Port is the SRV port.
+	Port uint16
+	// TXT carries key=value metadata (bridgeid=…, model=…).
+	TXT []string
+}
+
+// InstanceName returns the full instance domain name.
+func (s Service) InstanceName() string { return s.Instance + "." + s.Type }
+
+// Responder answers mDNS queries and announces services.
+type Responder struct {
+	Host *stack.Host
+	// Hostname is the device's .local host name (A/AAAA owner).
+	Hostname string
+	Services []Service
+	// AnswerUnicast makes the responder honour QU questions with unicast
+	// replies (~20% of lab devices do, §5.1).
+	AnswerUnicast bool
+	// OnQuery observes every question seen (analysis hook).
+	OnQuery func(q dnsmsg.Question, from netip.Addr)
+
+	sock *stack.UDPSock
+}
+
+// Start joins the mDNS groups and begins answering.
+func (r *Responder) Start() {
+	r.Host.JoinGroup(netx.MDNSv4Group)
+	if r.Host.Policy.EnableIPv6 {
+		r.Host.JoinGroup(netx.MDNSv6Group)
+	}
+	r.sock = r.Host.OpenUDP(Port, r.onDatagram)
+}
+
+// Stop leaves the groups and closes the socket.
+func (r *Responder) Stop() {
+	r.Host.LeaveGroup(netx.MDNSv4Group)
+	r.Host.CloseUDP(Port)
+}
+
+func (r *Responder) onDatagram(dg stack.Datagram) {
+	m, err := dnsmsg.Unmarshal(dg.Payload)
+	if err != nil || m.Response {
+		return
+	}
+	var answers, extra []dnsmsg.Record
+	unicastOK := false
+	for _, q := range m.Questions {
+		if r.OnQuery != nil {
+			r.OnQuery(q, dg.Src)
+		}
+		if q.WantsUnicast() {
+			unicastOK = true
+		}
+		answers, extra = r.answersFor(q, answers, extra)
+	}
+	if len(answers) == 0 {
+		return
+	}
+	resp := &dnsmsg.Message{Response: true, Authority: true, Answers: answers, Extra: extra}
+	if unicastOK && r.AnswerUnicast {
+		r.Host.SendUDP(Port, dg.Src, dg.SrcPort, resp.Marshal())
+		return
+	}
+	group := netx.MDNSv4Group
+	if dg.Src.Is6() {
+		group = netx.MDNSv6Group
+	}
+	r.Host.SendUDP(Port, group, Port, resp.Marshal())
+}
+
+func (r *Responder) answersFor(q dnsmsg.Question, answers, extra []dnsmsg.Record) ([]dnsmsg.Record, []dnsmsg.Record) {
+	name := strings.ToLower(q.Name)
+	switch {
+	case name == strings.ToLower(ServiceEnum):
+		for _, s := range r.Services {
+			answers = append(answers, dnsmsg.Record{
+				Name: ServiceEnum, Type: dnsmsg.TypePTR, Class: dnsmsg.ClassIN,
+				TTL: 4500, Target: s.Type,
+			})
+		}
+	case q.Type == dnsmsg.TypeA || q.Type == dnsmsg.TypeAAAA || q.Type == dnsmsg.TypeANY:
+		if strings.EqualFold(q.Name, r.Hostname) {
+			answers = append(answers, r.addrRecords()...)
+		}
+		if q.Type != dnsmsg.TypeANY {
+			break
+		}
+		fallthrough
+	default:
+		for _, s := range r.Services {
+			if strings.EqualFold(q.Name, s.Type) {
+				answers = append(answers, dnsmsg.Record{
+					Name: s.Type, Type: dnsmsg.TypePTR, Class: dnsmsg.ClassIN,
+					TTL: 4500, Target: s.InstanceName(),
+				})
+				extra = append(extra, r.serviceDetail(s)...)
+			}
+		}
+	}
+	return answers, extra
+}
+
+func (r *Responder) addrRecords() []dnsmsg.Record {
+	var recs []dnsmsg.Record
+	if r.Host.IPv4().IsValid() {
+		recs = append(recs, dnsmsg.Record{
+			Name: r.Hostname, Type: dnsmsg.TypeA,
+			Class: dnsmsg.ClassIN | dnsmsg.CacheFlushBit, TTL: 120, Addr: r.Host.IPv4(),
+		})
+	}
+	if r.Host.IPv6().IsValid() {
+		recs = append(recs, dnsmsg.Record{
+			Name: r.Hostname, Type: dnsmsg.TypeAAAA,
+			Class: dnsmsg.ClassIN | dnsmsg.CacheFlushBit, TTL: 120, Addr: r.Host.IPv6(),
+		})
+	}
+	return recs
+}
+
+func (r *Responder) serviceDetail(s Service) []dnsmsg.Record {
+	recs := []dnsmsg.Record{
+		{Name: s.InstanceName(), Type: dnsmsg.TypeSRV,
+			Class: dnsmsg.ClassIN | dnsmsg.CacheFlushBit, TTL: 120,
+			Port: s.Port, Target: r.Hostname},
+		{Name: s.InstanceName(), Type: dnsmsg.TypeTXT,
+			Class: dnsmsg.ClassIN | dnsmsg.CacheFlushBit, TTL: 4500,
+			TXT: s.TXT},
+	}
+	return append(recs, r.addrRecords()...)
+}
+
+// Announce multicasts an unsolicited response advertising every service —
+// the periodic advertisement traffic whose intervals §5.1 measures.
+func (r *Responder) Announce() {
+	if len(r.Services) == 0 && r.Hostname == "" {
+		return
+	}
+	m := &dnsmsg.Message{Response: true, Authority: true}
+	for _, s := range r.Services {
+		m.Answers = append(m.Answers, dnsmsg.Record{
+			Name: s.Type, Type: dnsmsg.TypePTR, Class: dnsmsg.ClassIN,
+			TTL: 4500, Target: s.InstanceName(),
+		})
+		m.Extra = append(m.Extra, r.serviceDetail(s)...)
+	}
+	if len(m.Answers) == 0 {
+		m.Answers = r.addrRecords()
+	}
+	r.Host.SendUDP(Port, netx.MDNSv4Group, Port, m.Marshal())
+	if r.Host.Policy.EnableIPv6 {
+		r.Host.SendUDP(Port, netx.MDNSv6Group, Port, m.Marshal())
+	}
+}
+
+// Query multicasts a one-shot mDNS question from a bound 5353 socket. For
+// receiving responses the caller should run its own Responder-less listener
+// via Listen.
+func Query(h *stack.Host, serviceType string, unicast bool) {
+	class := uint16(dnsmsg.ClassIN)
+	if unicast {
+		class |= dnsmsg.UnicastQueryBit
+	}
+	m := &dnsmsg.Message{Questions: []dnsmsg.Question{
+		{Name: serviceType, Type: dnsmsg.TypePTR, Class: class},
+	}}
+	h.SendUDP(Port, netx.MDNSv4Group, Port, m.Marshal())
+}
+
+// Listen joins the mDNS group and delivers every parsed response to fn —
+// the passive-gathering primitive apps and trackers use (§6.1).
+func Listen(h *stack.Host, fn func(m *dnsmsg.Message, from netip.Addr)) *stack.UDPSock {
+	h.JoinGroup(netx.MDNSv4Group)
+	return h.OpenUDP(Port, func(dg stack.Datagram) {
+		m, err := dnsmsg.Unmarshal(dg.Payload)
+		if err != nil {
+			return
+		}
+		fn(m, dg.Src)
+	})
+}

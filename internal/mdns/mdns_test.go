@@ -1,0 +1,200 @@
+package mdns
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"iotlan/internal/dnsmsg"
+	"iotlan/internal/lan"
+	"iotlan/internal/netx"
+	"iotlan/internal/sim"
+	"iotlan/internal/stack"
+)
+
+type env struct {
+	sched *sim.Scheduler
+	net   *lan.Network
+}
+
+func newEnv() *env {
+	s := sim.NewScheduler(1)
+	return &env{sched: s, net: lan.New(s)}
+}
+
+func (e *env) host(last byte) *stack.Host {
+	h := stack.NewHost(e.net, netx.MAC{2, 0, 0, 0, 0, last}, stack.DefaultPolicy)
+	h.SetIPv4(netip.AddrFrom4([4]byte{192, 168, 10, last}))
+	return h
+}
+
+func hueResponder(h *stack.Host) *Responder {
+	r := &Responder{
+		Host:     h,
+		Hostname: "Philips-hue.local",
+		Services: []Service{{
+			Instance: "Philips Hue - 685F61",
+			Type:     "_hue._tcp.local",
+			Port:     443,
+			TXT:      []string{"bridgeid=001788fffe685f61", "modelid=BSB002"},
+		}},
+	}
+	r.Start()
+	return r
+}
+
+func TestQueryGetsMulticastResponse(t *testing.T) {
+	e := newEnv()
+	hue := e.host(23)
+	hueResponder(hue)
+
+	phone := e.host(50)
+	var responses []*dnsmsg.Message
+	Listen(phone, func(m *dnsmsg.Message, from netip.Addr) {
+		if m.Response {
+			responses = append(responses, m)
+		}
+	})
+	Query(phone, "_hue._tcp.local", false)
+	e.sched.RunFor(time.Second)
+
+	if len(responses) != 1 {
+		t.Fatalf("responses: %d", len(responses))
+	}
+	m := responses[0]
+	if len(m.Answers) == 0 || m.Answers[0].Type != dnsmsg.TypePTR {
+		t.Fatalf("no PTR answer: %+v", m.Answers)
+	}
+	if m.Answers[0].Target != "Philips Hue - 685F61._hue._tcp.local" {
+		t.Fatalf("instance: %q", m.Answers[0].Target)
+	}
+	// SRV + TXT + A in extra.
+	var haveSRV, haveTXT, haveA bool
+	for _, rr := range m.Extra {
+		switch rr.Type {
+		case dnsmsg.TypeSRV:
+			haveSRV = rr.Port == 443
+		case dnsmsg.TypeTXT:
+			haveTXT = len(rr.TXT) == 2 && strings.HasPrefix(rr.TXT[0], "bridgeid=")
+		case dnsmsg.TypeA:
+			haveA = true
+		}
+	}
+	if !haveSRV || !haveTXT || !haveA {
+		t.Fatalf("detail records: srv=%v txt=%v a=%v", haveSRV, haveTXT, haveA)
+	}
+}
+
+func TestNonMatchingQuerySilent(t *testing.T) {
+	e := newEnv()
+	hue := e.host(23)
+	hueResponder(hue)
+	phone := e.host(50)
+	n := 0
+	Listen(phone, func(m *dnsmsg.Message, from netip.Addr) {
+		if m.Response {
+			n++
+		}
+	})
+	Query(phone, "_airplay._tcp.local", false)
+	e.sched.RunFor(time.Second)
+	if n != 0 {
+		t.Fatalf("unexpected responses: %d", n)
+	}
+}
+
+func TestUnicastQUResponse(t *testing.T) {
+	e := newEnv()
+	hue := e.host(23)
+	r := hueResponder(hue)
+	r.AnswerUnicast = true
+
+	phone := e.host(50)
+	other := e.host(60)
+	var phoneGot, otherGot int
+	Listen(phone, func(m *dnsmsg.Message, from netip.Addr) {
+		if m.Response {
+			phoneGot++
+		}
+	})
+	Listen(other, func(m *dnsmsg.Message, from netip.Addr) {
+		if m.Response {
+			otherGot++
+		}
+	})
+	Query(phone, "_hue._tcp.local", true)
+	e.sched.RunFor(time.Second)
+	if phoneGot != 1 {
+		t.Fatalf("phone responses: %d", phoneGot)
+	}
+	if otherGot != 0 {
+		t.Fatalf("third party saw unicast response: %d", otherGot)
+	}
+}
+
+func TestServiceEnumeration(t *testing.T) {
+	e := newEnv()
+	hue := e.host(23)
+	hueResponder(hue)
+	phone := e.host(50)
+	var types []string
+	Listen(phone, func(m *dnsmsg.Message, from netip.Addr) {
+		for _, a := range m.Answers {
+			if m.Response && a.Name == ServiceEnum {
+				types = append(types, a.Target)
+			}
+		}
+	})
+	Query(phone, ServiceEnum, false)
+	e.sched.RunFor(time.Second)
+	if len(types) != 1 || types[0] != "_hue._tcp.local" {
+		t.Fatalf("enumerated types: %v", types)
+	}
+}
+
+func TestAnnounceCarriesIdentifiers(t *testing.T) {
+	e := newEnv()
+	hue := e.host(23)
+	r := hueResponder(hue)
+	phone := e.host(50)
+	var seen []string
+	Listen(phone, func(m *dnsmsg.Message, from netip.Addr) {
+		for _, rr := range append(m.Answers, m.Extra...) {
+			seen = append(seen, rr.Name, rr.Target)
+			seen = append(seen, rr.TXT...)
+		}
+	})
+	r.Announce()
+	e.sched.RunFor(time.Second)
+	joined := strings.Join(seen, " ")
+	if !strings.Contains(joined, "685F61") {
+		t.Fatalf("announcement lacks MAC-derived identifier: %q", joined)
+	}
+	if !strings.Contains(joined, "bridgeid=001788fffe685f61") {
+		t.Fatalf("announcement lacks bridge id: %q", joined)
+	}
+}
+
+func TestHostnameAQuery(t *testing.T) {
+	e := newEnv()
+	hue := e.host(23)
+	hueResponder(hue)
+	phone := e.host(50)
+	var addr netip.Addr
+	Listen(phone, func(m *dnsmsg.Message, from netip.Addr) {
+		for _, a := range m.Answers {
+			if a.Type == dnsmsg.TypeA {
+				addr = a.Addr
+			}
+		}
+	})
+	m := &dnsmsg.Message{Questions: []dnsmsg.Question{
+		{Name: "Philips-hue.local", Type: dnsmsg.TypeA, Class: dnsmsg.ClassIN},
+	}}
+	phone.SendUDP(Port, netx.MDNSv4Group, Port, m.Marshal())
+	e.sched.RunFor(time.Second)
+	if addr != hue.IPv4() {
+		t.Fatalf("A answer %v, want %v", addr, hue.IPv4())
+	}
+}

@@ -1,0 +1,162 @@
+// Package netbios implements the NetBIOS Name Service subset the study's
+// mobile apps abuse: the NBSTAT node-status query (the "CKAAAAAA…" wildcard
+// of Table 5) and its response listing the target's NetBIOS names — the
+// share-enumeration side channel innosdk uses (§6.2).
+package netbios
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"iotlan/internal/netx"
+	"iotlan/internal/stack"
+)
+
+// Port is the NetBIOS name service UDP port.
+const Port = 137
+
+// EncodeName applies first-level encoding: each nibble of the space-padded
+// 16-byte name becomes a letter in A..P. The wildcard "*" encodes to the
+// famous "CKAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA".
+func EncodeName(name string) string {
+	padded := make([]byte, 16)
+	copy(padded, name)
+	for i := len(name); i < 16; i++ {
+		padded[i] = ' '
+	}
+	if name == "*" {
+		// The wildcard pads with NULs, not spaces.
+		for i := 1; i < 16; i++ {
+			padded[i] = 0
+		}
+	}
+	var sb strings.Builder
+	for _, b := range padded {
+		sb.WriteByte('A' + b>>4)
+		sb.WriteByte('A' + b&0x0f)
+	}
+	return sb.String()
+}
+
+// DecodeName reverses EncodeName.
+func DecodeName(enc string) (string, error) {
+	if len(enc) != 32 {
+		return "", fmt.Errorf("netbios: encoded name must be 32 bytes, got %d", len(enc))
+	}
+	out := make([]byte, 16)
+	for i := 0; i < 16; i++ {
+		hi, lo := enc[2*i]-'A', enc[2*i+1]-'A'
+		if hi > 15 || lo > 15 {
+			return "", fmt.Errorf("netbios: invalid encoded byte at %d", i)
+		}
+		out[i] = hi<<4 | lo
+	}
+	return strings.TrimRight(string(out), " \x00"), nil
+}
+
+// NBSTATQuery builds the node-status query datagram (Table 5's payload).
+func NBSTATQuery(txid uint16) []byte {
+	b := make([]byte, 0, 50)
+	b = binary.BigEndian.AppendUint16(b, txid)
+	b = append(b, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0) // flags, qd=1
+	b = append(b, 32)
+	b = append(b, EncodeName("*")...)
+	b = append(b, 0)       // name terminator
+	b = append(b, 0, 0x21) // type NBSTAT
+	b = append(b, 0, 1)    // class IN
+	return b
+}
+
+// ParseQuery recognises an NBSTAT query and returns its transaction id.
+func ParseQuery(data []byte) (txid uint16, ok bool) {
+	if len(data) < 50 || data[12] != 32 {
+		return 0, false
+	}
+	if binary.BigEndian.Uint16(data[2:4])&0x8000 != 0 {
+		return 0, false // a response
+	}
+	name, err := DecodeName(string(data[13:45]))
+	if err != nil || name != "*" {
+		return 0, false
+	}
+	if data[46] != 0 || data[47] != 0x21 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint16(data[0:2]), true
+}
+
+// StatusResponse builds a node-status response advertising names and the
+// unit MAC (NetBIOS responses embed the adapter address).
+func StatusResponse(txid uint16, names []string, mac netx.MAC) []byte {
+	b := make([]byte, 0, 128)
+	b = binary.BigEndian.AppendUint16(b, txid)
+	b = append(b, 0x84, 0, 0, 0, 0, 1, 0, 0, 0, 0) // response, an=1
+	b = append(b, 32)
+	b = append(b, EncodeName("*")...)
+	b = append(b, 0)
+	b = append(b, 0, 0x21, 0, 1) // NBSTAT IN
+	b = append(b, 0, 0, 0, 0)    // TTL
+	rdata := []byte{byte(len(names))}
+	for _, n := range names {
+		padded := make([]byte, 16)
+		copy(padded, n)
+		for i := len(n); i < 15; i++ {
+			padded[i] = ' '
+		}
+		rdata = append(rdata, padded...)
+		rdata = append(rdata, 0x04, 0x00) // active, unique
+	}
+	rdata = append(rdata, mac[:]...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(rdata)))
+	return append(b, rdata...)
+}
+
+// ParseStatusResponse extracts names and the MAC from a node-status
+// response.
+func ParseStatusResponse(data []byte) (names []string, mac netx.MAC, err error) {
+	if len(data) < 57 {
+		return nil, mac, fmt.Errorf("netbios: short response")
+	}
+	if binary.BigEndian.Uint16(data[2:4])&0x8000 == 0 {
+		return nil, mac, fmt.Errorf("netbios: not a response")
+	}
+	rlen := int(binary.BigEndian.Uint16(data[54:56]))
+	if 56+rlen > len(data) {
+		return nil, mac, fmt.Errorf("netbios: truncated rdata")
+	}
+	rdata := data[56 : 56+rlen]
+	if len(rdata) < 1 {
+		return nil, mac, fmt.Errorf("netbios: empty rdata")
+	}
+	n := int(rdata[0])
+	p := 1
+	for i := 0; i < n; i++ {
+		if p+18 > len(rdata) {
+			return nil, mac, fmt.Errorf("netbios: truncated name entry")
+		}
+		names = append(names, strings.TrimRight(string(rdata[p:p+16]), " \x00"))
+		p += 18
+	}
+	if p+6 <= len(rdata) {
+		copy(mac[:], rdata[p:p+6])
+	}
+	return names, mac, nil
+}
+
+// Responder answers NBSTAT queries for a simulated SMB-capable device.
+type Responder struct {
+	Host  *stack.Host
+	Names []string
+}
+
+// Start opens UDP 137.
+func (r *Responder) Start() {
+	r.Host.OpenUDP(Port, func(dg stack.Datagram) {
+		txid, ok := ParseQuery(dg.Payload)
+		if !ok {
+			return
+		}
+		r.Host.SendUDP(Port, dg.Src, dg.SrcPort, StatusResponse(txid, r.Names, r.Host.MAC()))
+	})
+}

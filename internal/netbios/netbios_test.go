@@ -1,0 +1,105 @@
+package netbios
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"iotlan/internal/lan"
+	"iotlan/internal/netx"
+	"iotlan/internal/sim"
+	"iotlan/internal/stack"
+)
+
+func TestWildcardEncoding(t *testing.T) {
+	enc := EncodeName("*")
+	if !strings.HasPrefix(enc, "CKAAAAAAAAAAAAAA") {
+		t.Fatalf("wildcard encodes to %q", enc)
+	}
+	if len(enc) != 32 {
+		t.Fatalf("encoded length %d", len(enc))
+	}
+	got, err := DecodeName(enc)
+	if err != nil || got != "*" {
+		t.Fatalf("decode: %q %v", got, err)
+	}
+}
+
+func TestNameRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		name := "HOST" + string(rune('A'+raw%26))
+		got, err := DecodeName(EncodeName(name))
+		return err == nil && got == name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryBuildAndParse(t *testing.T) {
+	q := NBSTATQuery(0x1234)
+	// Table 5's payload shape: the CKAAA… run must appear in the bytes.
+	if !strings.Contains(string(q), "CKAAAAAAAAAAAAAA") {
+		t.Fatal("query lacks wildcard encoding")
+	}
+	txid, ok := ParseQuery(q)
+	if !ok || txid != 0x1234 {
+		t.Fatalf("parse: txid=%#x ok=%v", txid, ok)
+	}
+	if _, ok := ParseQuery([]byte("nope")); ok {
+		t.Fatal("garbage accepted as query")
+	}
+}
+
+func TestStatusResponseRoundTrip(t *testing.T) {
+	mac := netx.MAC{0xb0, 0xbe, 0x76, 1, 2, 3}
+	resp := StatusResponse(9, []string{"WORKGROUP", "MYNAS"}, mac)
+	names, gotMAC, err := ParseStatusResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "WORKGROUP" || names[1] != "MYNAS" {
+		t.Fatalf("names: %v", names)
+	}
+	if gotMAC != mac {
+		t.Fatalf("MAC %v, want %v", gotMAC, mac)
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		ParseQuery(data)
+		ParseStatusResponse(data)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanExchange(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	network := lan.New(sched)
+	nas := stack.NewHost(network, netx.MAC{0xb0, 0xbe, 0x76, 0, 0, 5}, stack.DefaultPolicy)
+	nas.SetIPv4(netip.MustParseAddr("192.168.10.5"))
+	(&Responder{Host: nas, Names: []string{"MYNAS", "WORKGROUP"}}).Start()
+
+	app := stack.NewHost(network, netx.MAC{2, 0, 0, 0, 0, 50}, stack.DefaultPolicy)
+	app.SetIPv4(netip.MustParseAddr("192.168.10.50"))
+	var names []string
+	var mac netx.MAC
+	sock := app.OpenUDPEphemeral(func(dg stack.Datagram) {
+		names, mac, _ = ParseStatusResponse(dg.Payload)
+	})
+	sock.SendTo(netip.MustParseAddr("192.168.10.5"), Port, NBSTATQuery(1))
+	sched.RunFor(time.Second)
+
+	if len(names) != 2 || names[0] != "MYNAS" {
+		t.Fatalf("scan result: %v", names)
+	}
+	if mac != nas.MAC() {
+		t.Fatalf("scan leaked MAC %v, want %v", mac, nas.MAC())
+	}
+}

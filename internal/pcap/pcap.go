@@ -1,0 +1,168 @@
+// Package pcap reads and writes the classic libpcap capture file format and
+// provides the in-memory capture structures the analysis pipeline consumes:
+// timestamped records, per-MAC capture sets (the testbed stores one file per
+// device MAC, like the MonIoTr AP), and the Appendix C.1 local-traffic
+// filter.
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"iotlan/internal/layers"
+	"iotlan/internal/netx"
+)
+
+// Record is one captured frame with its capture timestamp.
+type Record struct {
+	Time time.Time
+	Data []byte
+}
+
+// Decode parses the record's frame. The result is cached per call site, not
+// here, to keep Record a plain value.
+func (r Record) Decode() *layers.Packet { return layers.Decode(r.Data) }
+
+const (
+	magicMicros = 0xa1b2c3d4
+	linkEN10MB  = 1
+)
+
+// WriteFile writes records to w in libpcap format (microsecond timestamps,
+// Ethernet link type).
+func WriteFile(w io.Writer, records []Record) error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicros)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2) // major
+	binary.LittleEndian.PutUint16(hdr[6:8], 4) // minor
+	binary.LittleEndian.PutUint32(hdr[16:20], 65535)
+	binary.LittleEndian.PutUint32(hdr[20:24], linkEN10MB)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [16]byte
+	for _, r := range records {
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(r.Time.Unix()))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(r.Time.Nanosecond()/1000))
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(len(r.Data)))
+		binary.LittleEndian.PutUint32(rec[12:16], uint32(len(r.Data)))
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(r.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFile parses a libpcap file produced by WriteFile (or tcpdump with
+// microsecond timestamps and Ethernet framing).
+func ReadFile(r io.Reader) ([]Record, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: short header: %w", err)
+	}
+	magic := binary.LittleEndian.Uint32(hdr[0:4])
+	if magic != magicMicros {
+		return nil, fmt.Errorf("pcap: unsupported magic %#x", magic)
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:24]); lt != linkEN10MB {
+		return nil, fmt.Errorf("pcap: unsupported link type %d", lt)
+	}
+	var records []Record
+	var rec [16]byte
+	for {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			if err == io.EOF {
+				return records, nil
+			}
+			return nil, fmt.Errorf("pcap: short record header: %w", err)
+		}
+		sec := binary.LittleEndian.Uint32(rec[0:4])
+		usec := binary.LittleEndian.Uint32(rec[4:8])
+		capLen := binary.LittleEndian.Uint32(rec[8:12])
+		if capLen > 1<<20 {
+			return nil, fmt.Errorf("pcap: implausible capture length %d", capLen)
+		}
+		data := make([]byte, capLen)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("pcap: short record body: %w", err)
+		}
+		records = append(records, Record{
+			Time: time.Unix(int64(sec), int64(usec)*1000).UTC(),
+			Data: data,
+		})
+	}
+}
+
+// Capture accumulates frames at the AP tap, split per source MAC like the
+// MonIoTr testbed's per-device tcpdump files. All frames are also kept in
+// arrival order for whole-network analyses.
+type Capture struct {
+	All   []Record
+	ByMAC map[netx.MAC][]Record
+}
+
+// NewCapture returns an empty capture.
+func NewCapture() *Capture {
+	return &Capture{ByMAC: make(map[netx.MAC][]Record)}
+}
+
+// Add records a frame captured at t.
+func (c *Capture) Add(t time.Time, frame []byte) {
+	rec := Record{Time: t, Data: frame}
+	c.All = append(c.All, rec)
+	if len(frame) >= 14 {
+		var eth layers.Ethernet
+		if eth.DecodeFromBytes(frame) == nil {
+			c.ByMAC[eth.Src] = append(c.ByMAC[eth.Src], rec)
+		}
+	}
+}
+
+// Len reports the total number of captured frames.
+func (c *Capture) Len() int { return len(c.All) }
+
+// MACs returns the source MACs observed, in stable (sorted) order.
+func (c *Capture) MACs() []netx.MAC {
+	macs := make([]netx.MAC, 0, len(c.ByMAC))
+	for m := range c.ByMAC {
+		macs = append(macs, m)
+	}
+	sort.Slice(macs, func(i, j int) bool {
+		for k := 0; k < 6; k++ {
+			if macs[i][k] != macs[j][k] {
+				return macs[i][k] < macs[j][k]
+			}
+		}
+		return false
+	})
+	return macs
+}
+
+// FilterLocal returns the records passing the Appendix C.1 local-traffic
+// filter: local unicast IP, multicast/broadcast destination, or non-IP
+// unicast.
+func FilterLocal(records []Record) []Record {
+	out := make([]Record, 0, len(records))
+	for _, r := range records {
+		if r.Decode().IsLocal() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Packets decodes every record once, in order. Analyses that need multiple
+// passes should call this once and share the slice.
+func Packets(records []Record) []*layers.Packet {
+	out := make([]*layers.Packet, len(records))
+	for i, r := range records {
+		out[i] = r.Decode()
+	}
+	return out
+}

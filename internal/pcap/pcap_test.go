@@ -1,0 +1,110 @@
+package pcap
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"iotlan/internal/layers"
+	"iotlan/internal/netx"
+)
+
+func mkFrame(t *testing.T, src, dst netx.MAC, srcIP, dstIP string) []byte {
+	t.Helper()
+	udp := &layers.UDP{SrcPort: 1900, DstPort: 1900}
+	s, d := netip.MustParseAddr(srcIP), netip.MustParseAddr(dstIP)
+	udp.SetAddrs(s, d)
+	frame, err := layers.Serialize(
+		&layers.Ethernet{Src: src, Dst: dst, EtherType: layers.EtherTypeIPv4},
+		&layers.IPv4{Protocol: layers.IPProtoUDP, Src: s, Dst: d},
+		udp, layers.RawPayload("NOTIFY * HTTP/1.1\r\n\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	a := netx.MAC{2, 0, 0, 0, 0, 1}
+	b := netx.MAC{2, 0, 0, 0, 0, 2}
+	recs := []Record{
+		{Time: time.Unix(1668384000, 123456000).UTC(), Data: mkFrame(t, a, b, "192.168.10.1", "192.168.10.2")},
+		{Time: time.Unix(1668384001, 0).UTC(), Data: mkFrame(t, b, a, "192.168.10.2", "192.168.10.1")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range got {
+		if !got[i].Time.Equal(recs[i].Time) {
+			t.Errorf("rec %d time %v, want %v", i, got[i].Time, recs[i].Time)
+		}
+		if !bytes.Equal(got[i].Data, recs[i].Data) {
+			t.Errorf("rec %d data mismatch", i)
+		}
+	}
+}
+
+func TestReadFileRejectsGarbage(t *testing.T) {
+	if _, err := ReadFile(bytes.NewReader([]byte("not a pcap file at all....."))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadFile(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReadFileTruncatedRecord(t *testing.T) {
+	a := netx.MAC{2, 0, 0, 0, 0, 1}
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, []Record{{Time: time.Now(), Data: mkFrame(t, a, a, "192.168.10.1", "192.168.10.2")}}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadFile(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestCapturePerMAC(t *testing.T) {
+	a := netx.MAC{2, 0, 0, 0, 0, 1}
+	b := netx.MAC{2, 0, 0, 0, 0, 2}
+	c := NewCapture()
+	now := time.Unix(1668384000, 0).UTC()
+	c.Add(now, mkFrame(t, a, b, "192.168.10.1", "192.168.10.2"))
+	c.Add(now.Add(time.Second), mkFrame(t, b, a, "192.168.10.2", "192.168.10.1"))
+	c.Add(now.Add(2*time.Second), mkFrame(t, a, b, "192.168.10.1", "192.168.10.2"))
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if len(c.ByMAC[a]) != 2 || len(c.ByMAC[b]) != 1 {
+		t.Fatalf("per-MAC split wrong: a=%d b=%d", len(c.ByMAC[a]), len(c.ByMAC[b]))
+	}
+	macs := c.MACs()
+	if len(macs) != 2 || macs[0] != a || macs[1] != b {
+		t.Fatalf("MACs() = %v", macs)
+	}
+}
+
+func TestFilterLocal(t *testing.T) {
+	a := netx.MAC{2, 0, 0, 0, 0, 1}
+	b := netx.MAC{2, 0, 0, 0, 0, 2}
+	now := time.Unix(1668384000, 0).UTC()
+	recs := []Record{
+		{Time: now, Data: mkFrame(t, a, b, "192.168.10.1", "192.168.10.2")},                 // local
+		{Time: now, Data: mkFrame(t, a, b, "192.168.10.1", "52.94.0.1")},                    // cloud
+		{Time: now, Data: mkFrame(t, a, netx.Broadcast, "192.168.10.1", "255.255.255.255")}, // broadcast
+	}
+	got := FilterLocal(recs)
+	if len(got) != 2 {
+		t.Fatalf("FilterLocal kept %d, want 2", len(got))
+	}
+}

@@ -1,0 +1,72 @@
+// Package rtp implements the RTP/RTCP header codec (RFC 3550 subset) behind
+// the lab's multi-room-audio synchronisation traffic: Echo devices stream
+// RTP over UDP 55444, Google devices over 10000–10010 — traffic both nDPI
+// and tshark misclassify as STUN (Appendix C.2).
+package rtp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EchoPort is the Amazon multi-room audio UDP port.
+const EchoPort = 55444
+
+// GooglePortLow/High bound the Cast sync port range.
+const (
+	GooglePortLow  = 10000
+	GooglePortHigh = 10010
+)
+
+// Header is an RTP fixed header.
+type Header struct {
+	PayloadType uint8
+	Seq         uint16
+	Timestamp   uint32
+	SSRC        uint32
+	Marker      bool
+}
+
+// Marshal encodes header + payload.
+func (h *Header) Marshal(payload []byte) []byte {
+	out := make([]byte, 12+len(payload))
+	out[0] = 0x80 // version 2
+	out[1] = h.PayloadType & 0x7f
+	if h.Marker {
+		out[1] |= 0x80
+	}
+	binary.BigEndian.PutUint16(out[2:4], h.Seq)
+	binary.BigEndian.PutUint32(out[4:8], h.Timestamp)
+	binary.BigEndian.PutUint32(out[8:12], h.SSRC)
+	copy(out[12:], payload)
+	return out
+}
+
+// Unmarshal decodes an RTP packet.
+func Unmarshal(data []byte) (*Header, []byte, error) {
+	if len(data) < 12 {
+		return nil, nil, fmt.Errorf("rtp: short packet")
+	}
+	if data[0]>>6 != 2 {
+		return nil, nil, fmt.Errorf("rtp: version %d", data[0]>>6)
+	}
+	h := &Header{
+		PayloadType: data[1] & 0x7f,
+		Marker:      data[1]&0x80 != 0,
+		Seq:         binary.BigEndian.Uint16(data[2:4]),
+		Timestamp:   binary.BigEndian.Uint32(data[4:8]),
+		SSRC:        binary.BigEndian.Uint32(data[8:12]),
+	}
+	return h, data[12:], nil
+}
+
+// LooksLikeRTP is the heuristic classifiers need: version 2, plausible
+// payload type, non-zero SSRC. It deliberately overlaps with STUN's shape
+// on some inputs, reproducing the Appendix C.2 confusion.
+func LooksLikeRTP(data []byte) bool {
+	if len(data) < 12 || data[0]>>6 != 2 {
+		return false
+	}
+	pt := data[1] & 0x7f
+	return pt < 96 && binary.BigEndian.Uint32(data[8:12]) != 0
+}

@@ -1,0 +1,46 @@
+package rtp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	h := &Header{PayloadType: 97 & 0x7f, Seq: 1000, Timestamp: 160000, SSRC: 0xdeadbeef, Marker: true}
+	pkt := h.Marshal([]byte("audio"))
+	got, payload, err := Unmarshal(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 1000 || got.SSRC != 0xdeadbeef || !got.Marker {
+		t.Fatalf("header: %+v", got)
+	}
+	if !bytes.Equal(payload, []byte("audio")) {
+		t.Fatalf("payload %q", payload)
+	}
+}
+
+func TestUnmarshalRejects(t *testing.T) {
+	if _, _, err := Unmarshal([]byte{0x80}); err == nil {
+		t.Fatal("short accepted")
+	}
+	bad := (&Header{SSRC: 1}).Marshal(nil)
+	bad[0] = 0x40 // version 1
+	if _, _, err := Unmarshal(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestLooksLikeRTP(t *testing.T) {
+	good := (&Header{PayloadType: 10, SSRC: 42}).Marshal([]byte("x"))
+	if !LooksLikeRTP(good) {
+		t.Fatal("real RTP not recognised")
+	}
+	if LooksLikeRTP([]byte("GET / HTTP/1.1\r\n")) {
+		t.Fatal("HTTP mistaken for RTP")
+	}
+	zeroSSRC := (&Header{PayloadType: 10}).Marshal(nil)
+	if LooksLikeRTP(zeroSSRC) {
+		t.Fatal("zero SSRC should fail the heuristic")
+	}
+}

@@ -1,0 +1,267 @@
+// Package ssdp implements the Simple Service Discovery Protocol underpinning
+// UPnP: M-SEARCH active discovery, NOTIFY passive presence broadcasting,
+// unicast 200 OK responses, and the UPnP device-description XML that exposes
+// friendly names, UUIDs and serial numbers (§5.1, Table 5).
+package ssdp
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"iotlan/internal/netx"
+	"iotlan/internal/stack"
+)
+
+// Port is the SSDP UDP port.
+const Port = 1900
+
+// Well-known search targets.
+const (
+	TargetAll         = "ssdp:all"
+	TargetRootDevice  = "upnp:rootdevice"
+	TargetIGD         = "urn:schemas-upnp-org:device:InternetGatewayDevice:1"
+	TargetMediaRender = "urn:schemas-upnp-org:device:MediaRenderer:1"
+	TargetDial        = "urn:dial-multiscreen-org:service:dial:1"
+	TargetBasic       = "urn:schemas-upnp-org:device:Basic:1"
+)
+
+// Message is a parsed SSDP datagram.
+type Message struct {
+	// Kind is "M-SEARCH", "NOTIFY" or "RESPONSE".
+	Kind    string
+	Headers map[string]string
+}
+
+// Header returns a header value, case-insensitively.
+func (m *Message) Header(k string) string { return m.Headers[strings.ToUpper(k)] }
+
+// ST returns the search target (M-SEARCH/response) or NT (NOTIFY).
+func (m *Message) ST() string {
+	if st := m.Header("ST"); st != "" {
+		return st
+	}
+	return m.Header("NT")
+}
+
+// USN returns the unique service name (the UUID exposure channel).
+func (m *Message) USN() string { return m.Header("USN") }
+
+// Location returns the device-description URL.
+func (m *Message) Location() string { return m.Header("LOCATION") }
+
+// Parse decodes an SSDP datagram.
+func Parse(data []byte) (*Message, error) {
+	rd := bufio.NewReader(strings.NewReader(string(data)))
+	first, err := rd.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("ssdp: no start line: %w", err)
+	}
+	first = strings.TrimSpace(first)
+	m := &Message{Headers: make(map[string]string)}
+	switch {
+	case strings.HasPrefix(first, "M-SEARCH"):
+		m.Kind = "M-SEARCH"
+	case strings.HasPrefix(first, "NOTIFY"):
+		m.Kind = "NOTIFY"
+	case strings.HasPrefix(first, "HTTP/1.1 200"):
+		m.Kind = "RESPONSE"
+	default:
+		return nil, fmt.Errorf("ssdp: unrecognised start line %q", first)
+	}
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			break
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			break
+		}
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		m.Headers[strings.ToUpper(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	return m, nil
+}
+
+func formatHeaders(h map[string]string) string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s: %s\r\n", k, h[k])
+	}
+	sb.WriteString("\r\n")
+	return sb.String()
+}
+
+// MSearch builds an M-SEARCH datagram for the given target.
+func MSearch(target string, mx int) []byte {
+	return []byte("M-SEARCH * HTTP/1.1\r\n" + formatHeaders(map[string]string{
+		"HOST": "239.255.255.250:1900",
+		"MAN":  `"ssdp:discover"`,
+		"MX":   fmt.Sprint(mx),
+		"ST":   target,
+	}))
+}
+
+// Advertisement describes an advertised UPnP root device.
+type Advertisement struct {
+	// UUID is the device UDN, typically stable and unique (Table 2).
+	UUID string
+	// Target is the device/service type advertised.
+	Target string
+	// Location is the description URL, e.g. "http://192.168.10.9:49152/desc.xml".
+	Location string
+	// Server is the SERVER header exposing OS and UPnP stack versions,
+	// e.g. "Linux/3.14 UPnP/1.0 IpBridge/1.56.0".
+	Server string
+}
+
+// Notify builds a NOTIFY ssdp:alive datagram.
+func (a Advertisement) Notify() []byte {
+	return []byte("NOTIFY * HTTP/1.1\r\n" + formatHeaders(map[string]string{
+		"HOST":          "239.255.255.250:1900",
+		"CACHE-CONTROL": "max-age=1800",
+		"LOCATION":      a.Location,
+		"NT":            a.Target,
+		"NTS":           "ssdp:alive",
+		"SERVER":        a.Server,
+		"USN":           "uuid:" + a.UUID + "::" + a.Target,
+	}))
+}
+
+// Response builds a unicast 200 OK answer to an M-SEARCH.
+func (a Advertisement) Response(st string) []byte {
+	return []byte("HTTP/1.1 200 OK\r\n" + formatHeaders(map[string]string{
+		"CACHE-CONTROL": "max-age=1800",
+		"EXT":           "",
+		"LOCATION":      a.Location,
+		"SERVER":        a.Server,
+		"ST":            st,
+		"USN":           "uuid:" + a.UUID + "::" + st,
+	}))
+}
+
+// Matches reports whether the advertisement should answer a search target.
+func (a Advertisement) Matches(st string) bool {
+	switch st {
+	case TargetAll:
+		return true
+	case TargetRootDevice:
+		return true
+	}
+	return strings.EqualFold(st, a.Target) || strings.EqualFold(st, "uuid:"+a.UUID)
+}
+
+// Responder answers M-SEARCH queries and periodically NOTIFYs.
+type Responder struct {
+	Host *stack.Host
+	Ads  []Advertisement
+	// Passive disables M-SEARCH responses (devices that only NOTIFY; only
+	// 9 of 30 SSDP devices in the lab answer searches, §5.1).
+	Passive bool
+	// OnSearch observes inbound searches (honeypot/analysis hook).
+	OnSearch func(st string, from netip.Addr)
+}
+
+// Start joins the SSDP group and begins answering.
+func (r *Responder) Start() {
+	r.Host.JoinGroup(netx.SSDPGroup)
+	r.Host.OpenUDP(Port, r.onDatagram)
+}
+
+func (r *Responder) onDatagram(dg stack.Datagram) {
+	m, err := Parse(dg.Payload)
+	if err != nil || m.Kind != "M-SEARCH" {
+		return
+	}
+	st := m.ST()
+	if r.OnSearch != nil {
+		r.OnSearch(st, dg.Src)
+	}
+	if r.Passive {
+		return
+	}
+	for _, ad := range r.Ads {
+		if ad.Matches(st) {
+			answered := st
+			if st == TargetAll {
+				answered = ad.Target
+			}
+			r.Host.SendUDP(Port, dg.Src, dg.SrcPort, ad.Response(answered))
+		}
+	}
+}
+
+// NotifyAll multicasts a NOTIFY for every advertisement.
+func (r *Responder) NotifyAll() {
+	for _, ad := range r.Ads {
+		r.Host.SendUDP(Port, netx.SSDPGroup, Port, ad.Notify())
+	}
+}
+
+// Search multicasts an M-SEARCH from an ephemeral port and delivers parsed
+// responses to fn. The socket auto-closes after the response window so that
+// periodic searchers (Google: every 20 s, §5.1) do not exhaust ports over
+// multi-day runs.
+func Search(h *stack.Host, target string, fn func(m *Message, from netip.Addr)) {
+	sock := h.OpenUDPEphemeral(func(dg stack.Datagram) {
+		m, err := Parse(dg.Payload)
+		if err != nil || m.Kind != "RESPONSE" {
+			return
+		}
+		if fn != nil {
+			fn(m, dg.Src)
+		}
+	})
+	sock.SendTo(netx.SSDPGroup, Port, MSearch(target, 2))
+	h.Sched.After(10*time.Second, sock.Close)
+}
+
+// Device is the UPnP device-description XML document (Table 5's SSDP
+// example). Field names follow the UPnP Device Architecture spec.
+type Device struct {
+	XMLName      xml.Name        `xml:"root"`
+	FriendlyName string          `xml:"device>friendlyName"`
+	Manufacturer string          `xml:"device>manufacturer"`
+	ModelName    string          `xml:"device>modelName"`
+	SerialNumber string          `xml:"device>serialNumber"`
+	UDN          string          `xml:"device>UDN"`
+	DeviceType   string          `xml:"device>deviceType"`
+	Services     []DeviceService `xml:"device>serviceList>service"`
+}
+
+// DeviceService is one service entry in a description document.
+type DeviceService struct {
+	ServiceType string `xml:"serviceType"`
+	ControlURL  string `xml:"controlURL"`
+}
+
+// MarshalXML renders the description document.
+func (d *Device) Document() ([]byte, error) {
+	out, err := xml.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// ParseDevice decodes a description document.
+func ParseDevice(data []byte) (*Device, error) {
+	var d Device
+	if err := xml.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("ssdp: bad device description: %w", err)
+	}
+	return &d, nil
+}

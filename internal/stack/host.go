@@ -1,0 +1,462 @@
+// Package stack implements a minimal userspace TCP/IP stack over the
+// simulated LAN: ARP resolution with a cache, IPv4/IPv6 send/receive, UDP
+// sockets with multicast groups (IGMP), a small reliable-network TCP
+// (handshake, data, FIN, RST), ICMP echo and unreachables, and NDP. Every
+// byte a Host emits is a genuine Ethernet frame, so the AP capture contains
+// real packets for the classifier and threat analyses to parse.
+package stack
+
+import (
+	"net/netip"
+	"time"
+
+	"iotlan/internal/lan"
+	"iotlan/internal/layers"
+	"iotlan/internal/netx"
+	"iotlan/internal/sim"
+)
+
+// Policy captures per-device stack behaviours that the threat analysis
+// depends on (which probes a device answers, whether it speaks IPv6, …).
+type Policy struct {
+	// RespondEcho answers ICMP echo requests.
+	RespondEcho bool
+	// RespondARPBroadcast answers broadcast ARP who-has for our IP even
+	// when the sender is sweeping the address space. When false the host
+	// ignores sweep-style broadcast probes (a sender that probed foreign
+	// IPs within the last 2 s) but still answers ordinary one-off
+	// resolution and all unicast ARP — reproducing §5.1's finding that only
+	// 58% of devices answer Echo's broadcast scans while 100% answer
+	// unicast probes.
+	RespondARPBroadcast bool
+	// RespondUDPUnreachable emits ICMP port-unreachable for closed UDP
+	// ports; required for UDP scans to mark ports closed.
+	RespondUDPUnreachable bool
+	// RespondProtoUnreachable emits ICMP protocol-unreachable for unknown
+	// IP protocols; required for IP-protocol scans.
+	RespondProtoUnreachable bool
+	// EnableIPv6 turns on SLAAC link-local addressing and NDP.
+	EnableIPv6 bool
+	// RespondTCPRst answers SYNs to closed ports with RST (a stealthy
+	// device that drops them shows "filtered" to the scanner).
+	RespondTCPRst bool
+}
+
+// DefaultPolicy answers everything, like a typical busy IoT stack.
+var DefaultPolicy = Policy{
+	RespondEcho:             true,
+	RespondARPBroadcast:     true,
+	RespondUDPUnreachable:   true,
+	RespondProtoUnreachable: true,
+	EnableIPv6:              true,
+	RespondTCPRst:           true,
+}
+
+type pendingFrame struct {
+	build func(dstMAC netx.MAC) []byte
+}
+
+// Host is one IP endpoint on the simulated LAN.
+type Host struct {
+	Net   *lan.Network
+	Sched *sim.Scheduler
+
+	mac    netx.MAC
+	ip4    netip.Addr
+	ip6    netip.Addr // link-local, set when Policy.EnableIPv6
+	Policy Policy
+
+	arp      map[netip.Addr]netx.MAC
+	arpWait  map[netip.Addr][]pendingFrame
+	groups   map[netip.Addr]bool
+	udp      map[uint16]*UDPSock
+	tcpL     map[uint16]*TCPListener
+	tcpConns map[connKey]*TCPConn
+	nextPort uint16
+	ipID     uint16
+
+	// OnARPRequest is invoked for every ARP request seen (honeypot and
+	// analysis hooks); return value does not affect protocol handling.
+	OnARPRequest func(sender netip.Addr, target netip.Addr)
+	// OnEcho is invoked when an echo request is answered.
+	OnEcho func(from netip.Addr)
+	// OnRawFrame, when set, sees every frame before normal dispatch. Used by
+	// promiscuous observers (ARP-spoofing inspector, instrumentation).
+	OnRawFrame func(frame []byte)
+
+	// onICMPIn lets the scanner observe ICMP responses to its probes.
+	onICMPIn func(*layers.Packet)
+
+	// foreignARP tracks, per sender, the last broadcast who-has for an IP
+	// other than ours — the sweep detector behind RespondARPBroadcast.
+	foreignARP map[netx.MAC]time.Time
+}
+
+// NewHost attaches a new host with the given MAC to the network. The IP is
+// unset until SetIPv4 (static) or a DHCP exchange assigns one.
+func NewHost(network *lan.Network, mac netx.MAC, policy Policy) *Host {
+	h := &Host{
+		Net:      network,
+		Sched:    network.Sched,
+		mac:      mac,
+		Policy:   policy,
+		arp:      make(map[netip.Addr]netx.MAC),
+		arpWait:  make(map[netip.Addr][]pendingFrame),
+		groups:   make(map[netip.Addr]bool),
+		udp:      make(map[uint16]*UDPSock),
+		tcpL:     make(map[uint16]*TCPListener),
+		tcpConns: make(map[connKey]*TCPConn),
+		nextPort: 32768,
+	}
+	if policy.EnableIPv6 {
+		h.ip6 = netx.LinkLocalV6(mac)
+	}
+	network.Attach(h)
+	return h
+}
+
+// MAC implements lan.Node.
+func (h *Host) MAC() netx.MAC { return h.mac }
+
+// IPv4 returns the host's IPv4 address (zero Addr until assigned).
+func (h *Host) IPv4() netip.Addr { return h.ip4 }
+
+// IPv6 returns the link-local IPv6 address, or the zero Addr if disabled.
+func (h *Host) IPv6() netip.Addr { return h.ip6 }
+
+// SetIPv4 assigns the IPv4 address (static config or DHCP result).
+func (h *Host) SetIPv4(addr netip.Addr) { h.ip4 = addr }
+
+// ephemeralPort allocates a client port.
+func (h *Host) ephemeralPort() uint16 {
+	for {
+		h.nextPort++
+		if h.nextPort < 32768 {
+			h.nextPort = 32768
+		}
+		if _, used := h.udp[h.nextPort]; !used {
+			return h.nextPort
+		}
+	}
+}
+
+// send emits a frame onto the LAN.
+func (h *Host) send(frame []byte, err error) {
+	if err != nil {
+		return
+	}
+	h.Net.Send(frame)
+}
+
+// SendRaw emits an arbitrary pre-built frame (EAPOL, LLC/XID, crafted
+// probes).
+func (h *Host) SendRaw(frame []byte) { h.Net.Send(frame) }
+
+// HandleFrame implements lan.Node: the host's receive path.
+func (h *Host) HandleFrame(frame []byte) {
+	if h.OnRawFrame != nil {
+		h.OnRawFrame(frame)
+	}
+	// Fast path: drop IPv4 multicast for unjoined groups before the full
+	// decode — the dominant case on a discovery-chatty LAN.
+	if len(frame) >= 34 && frame[12] == 0x08 && frame[13] == 0x00 {
+		if b := frame[30]; b >= 224 && b <= 239 {
+			dst := netip.AddrFrom4([4]byte(frame[30:34]))
+			if !h.groups[dst] && dst != netx.AllNodesV4 && dst != netx.IGMPGroup {
+				return
+			}
+		}
+	}
+	p := layers.Decode(frame)
+	if p.Err != nil {
+		return
+	}
+	switch {
+	case p.HasARP:
+		h.handleARP(&p.ARP, &p.Eth)
+	case p.HasIP4, p.HasIP6:
+		h.handleIP(p)
+	}
+}
+
+func (h *Host) handleIP(p *layers.Packet) {
+	dst := p.DstIP()
+	// Accept: our unicast, joined multicast groups, well-known all-nodes,
+	// broadcast.
+	switch {
+	case dst == h.ip4 || dst == h.ip6:
+	case dst == netx.Broadcast4 || (h.ip4.IsValid() && dst == netx.SubnetBroadcast(h.ip4)):
+	case dst.IsMulticast():
+		if !h.groups[dst] && dst != netx.AllNodesV4 && dst != netx.AllNodesV6 && !isNDPGroup(dst) {
+			return
+		}
+	default:
+		return
+	}
+	switch {
+	case p.HasUDP:
+		h.handleUDP(p)
+	case p.HasTCP:
+		h.handleTCP(p)
+	case p.HasICMP4:
+		h.handleICMP(p)
+	case p.HasICMP6:
+		h.handleICMPv6(p)
+	default:
+		if p.HasIP4 && h.Policy.RespondProtoUnreachable && dst == h.ip4 {
+			h.sendICMPUnreachable(p.SrcIP(), 2, p.Data[14:]) // protocol unreachable
+		}
+	}
+}
+
+func isNDPGroup(a netip.Addr) bool {
+	if !a.Is6() {
+		return false
+	}
+	b := a.As16()
+	// Solicited-node multicast ff02::1:ffXX:XXXX.
+	return b[0] == 0xff && b[1] == 0x02 && b[11] == 0x01 && b[12] == 0xff
+}
+
+// --- ARP -----------------------------------------------------------------
+
+func (h *Host) handleARP(a *layers.ARP, eth *layers.Ethernet) {
+	sender := netip.AddrFrom4(a.SenderIP)
+	target := netip.AddrFrom4(a.TargetIP)
+	if sender.IsValid() && !sender.IsUnspecified() {
+		h.arp[sender] = a.SenderHW
+		h.flushPending(sender)
+	}
+	switch a.Op {
+	case layers.ARPRequest:
+		if h.OnARPRequest != nil {
+			h.OnARPRequest(sender, target)
+		}
+		if !h.ip4.IsValid() || target != h.ip4 {
+			if eth.Dst.IsBroadcast() {
+				// Remember sweep activity per sender for the silent policy.
+				if h.foreignARP == nil {
+					h.foreignARP = make(map[netx.MAC]time.Time)
+				}
+				h.foreignARP[a.SenderHW] = h.Sched.Now()
+			}
+			return
+		}
+		if eth.Dst.IsBroadcast() && !h.Policy.RespondARPBroadcast {
+			if last, ok := h.foreignARP[a.SenderHW]; ok && h.Sched.Now().Sub(last) < 2*time.Second {
+				return // mid-sweep: stay silent; unicast always answered
+			}
+		}
+		h.sendARPReply(a.SenderHW, a.SenderIP)
+	}
+}
+
+func (h *Host) sendARPReply(dstHW netx.MAC, dstIP [4]byte) {
+	reply := &layers.ARP{
+		Op:       layers.ARPReply,
+		SenderHW: h.mac, SenderIP: h.ip4.As4(),
+		TargetHW: dstHW, TargetIP: dstIP,
+	}
+	h.send(layers.Serialize(
+		&layers.Ethernet{Src: h.mac, Dst: dstHW, EtherType: layers.EtherTypeARP},
+		reply))
+}
+
+// as4or0 renders an address as 4 bytes, mapping the invalid Addr to 0.0.0.0
+// (a host probing before DHCP completes).
+func as4or0(a netip.Addr) [4]byte {
+	if a.IsValid() && a.Is4() {
+		return a.As4()
+	}
+	return [4]byte{}
+}
+
+// ARPProbe broadcasts a who-has for target (Echo-style LAN sweep, §5.1).
+func (h *Host) ARPProbe(target netip.Addr) {
+	req := &layers.ARP{
+		Op:       layers.ARPRequest,
+		SenderHW: h.mac, SenderIP: as4or0(h.ip4),
+		TargetIP: as4or0(target),
+	}
+	h.send(layers.Serialize(
+		&layers.Ethernet{Src: h.mac, Dst: netx.Broadcast, EtherType: layers.EtherTypeARP},
+		req))
+}
+
+// ARPProbeUnicast sends a targeted unicast ARP request to a known MAC.
+func (h *Host) ARPProbeUnicast(dst netx.MAC, target netip.Addr) {
+	req := &layers.ARP{
+		Op:       layers.ARPRequest,
+		SenderHW: h.mac, SenderIP: as4or0(h.ip4),
+		TargetHW: dst, TargetIP: as4or0(target),
+	}
+	h.send(layers.Serialize(
+		&layers.Ethernet{Src: h.mac, Dst: dst, EtherType: layers.EtherTypeARP},
+		req))
+}
+
+func (h *Host) flushPending(addr netip.Addr) {
+	waiters := h.arpWait[addr]
+	if len(waiters) == 0 {
+		return
+	}
+	delete(h.arpWait, addr)
+	mac := h.arp[addr]
+	for _, w := range waiters {
+		h.SendRaw(w.build(mac))
+	}
+}
+
+// resolveAndSend looks up dst's MAC (ARPing if needed) and transmits the
+// frame produced by build.
+func (h *Host) resolveAndSend(dst netip.Addr, build func(dstMAC netx.MAC) []byte) {
+	// Multicast and broadcast need no resolution.
+	if dst.IsMulticast() {
+		h.SendRaw(build(netx.MulticastMAC(dst)))
+		return
+	}
+	if dst == netx.Broadcast4 || (h.ip4.IsValid() && dst == netx.SubnetBroadcast(h.ip4)) {
+		h.SendRaw(build(netx.Broadcast))
+		return
+	}
+	if mac, ok := h.arp[dst]; ok {
+		h.SendRaw(build(mac))
+		return
+	}
+	if dst.Is6() {
+		h.sendNeighborSolicit(dst)
+	} else {
+		h.ARPProbe(dst)
+	}
+	h.arpWait[dst] = append(h.arpWait[dst], pendingFrame{build: build})
+	// Give up after 3 s so queues don't leak when the target is absent.
+	h.Sched.After(3*time.Second, func() { delete(h.arpWait, dst) })
+}
+
+// --- ICMP ----------------------------------------------------------------
+
+func (h *Host) handleICMP(p *layers.Packet) {
+	if p.ICMP4.Type == layers.ICMPv4Echo && h.Policy.RespondEcho {
+		if h.OnEcho != nil {
+			h.OnEcho(p.SrcIP())
+		}
+		h.sendIPv4(p.SrcIP(), layers.IPProtoICMP, &layers.ICMPv4{
+			Type: layers.ICMPv4EchoReply, ID: p.ICMP4.ID, Seq: p.ICMP4.Seq, Data: p.ICMP4.Data,
+		})
+	}
+	if fn := h.onICMPIn; fn != nil {
+		fn(p)
+	}
+}
+
+// Ping sends an ICMP echo request.
+func (h *Host) Ping(dst netip.Addr, id, seq uint16) {
+	h.sendIPv4(dst, layers.IPProtoICMP, &layers.ICMPv4{
+		Type: layers.ICMPv4Echo, ID: id, Seq: seq, Data: []byte("abcdefgh"),
+	})
+}
+
+func (h *Host) sendICMPUnreachable(dst netip.Addr, code uint8, original []byte) {
+	// Per RFC 792 the payload carries the offending IP header + 8 bytes, so
+	// scanners can match unreachables to probes.
+	if len(original) > 28 {
+		original = original[:28]
+	}
+	h.sendIPv4(dst, layers.IPProtoICMP, &layers.ICMPv4{
+		Type: layers.ICMPv4Unreachable, Code: code,
+		Data: append([]byte(nil), original...),
+	})
+}
+
+// --- NDP / ICMPv6 ----------------------------------------------------------
+
+func (h *Host) handleICMPv6(p *layers.Packet) {
+	if !h.Policy.EnableIPv6 {
+		return
+	}
+	switch p.ICMP6.Type {
+	case layers.ICMPv6NeighborSolicit:
+		if p.ICMP6.Target == h.ip6 {
+			if p.ICMP6.HasLink {
+				h.arp[p.SrcIP()] = p.ICMP6.LinkAddr
+				h.flushPending(p.SrcIP())
+			}
+			h.sendNeighborAdvert(p.SrcIP())
+		}
+	case layers.ICMPv6NeighborAdvert:
+		if p.ICMP6.HasLink {
+			h.arp[p.ICMP6.Target] = p.ICMP6.LinkAddr
+			h.flushPending(p.ICMP6.Target)
+		}
+	case layers.ICMPv6EchoRequest:
+		if h.Policy.RespondEcho {
+			h.sendIPv6(p.SrcIP(), layers.IPProtoICMPv6, &layers.ICMPv6{
+				Type: layers.ICMPv6EchoReply, Data: p.ICMP6.Data,
+			})
+		}
+	}
+}
+
+func (h *Host) sendNeighborSolicit(target netip.Addr) {
+	// Solicited-node multicast destination.
+	t := target.As16()
+	var g [16]byte
+	g[0], g[1], g[11], g[12] = 0xff, 0x02, 0x01, 0xff
+	g[13], g[14], g[15] = t[13], t[14], t[15]
+	h.sendIPv6(netip.AddrFrom16(g), layers.IPProtoICMPv6, &layers.ICMPv6{
+		Type: layers.ICMPv6NeighborSolicit, Target: target,
+		LinkAddr: h.mac, HasLink: true,
+	})
+}
+
+func (h *Host) sendNeighborAdvert(dst netip.Addr) {
+	h.sendIPv6(dst, layers.IPProtoICMPv6, &layers.ICMPv6{
+		Type: layers.ICMPv6NeighborAdvert, Target: h.ip6,
+		LinkAddr: h.mac, HasLink: true,
+	})
+}
+
+// AnnounceIPv6 sends the unsolicited neighbor advertisement SLAAC hosts emit
+// on boot — the MAC-exposure channel of §5.1.
+func (h *Host) AnnounceIPv6() {
+	if !h.Policy.EnableIPv6 {
+		return
+	}
+	h.sendIPv6(netx.AllNodesV6, layers.IPProtoICMPv6, &layers.ICMPv6{
+		Type: layers.ICMPv6NeighborAdvert, Target: h.ip6,
+		LinkAddr: h.mac, HasLink: true,
+	})
+}
+
+// --- IP send helpers -------------------------------------------------------
+
+func (h *Host) sendIPv4(dst netip.Addr, proto uint8, body layers.Serializable) {
+	h.ipID++
+	id := h.ipID
+	h.resolveAndSend(dst, func(dstMAC netx.MAC) []byte {
+		frame, _ := layers.Serialize(
+			&layers.Ethernet{Src: h.mac, Dst: dstMAC, EtherType: layers.EtherTypeIPv4},
+			&layers.IPv4{Protocol: proto, Src: h.ip4, Dst: dst, ID: id},
+			body)
+		return frame
+	})
+}
+
+func (h *Host) sendIPv6(dst netip.Addr, proto uint8, body layers.Serializable) {
+	h.resolveAndSend(dst, func(dstMAC netx.MAC) []byte {
+		frame, _ := layers.Serialize(
+			&layers.Ethernet{Src: h.mac, Dst: dstMAC, EtherType: layers.EtherTypeIPv6},
+			&layers.IPv6{NextHeader: proto, Src: h.ip6, Dst: dst},
+			body)
+		return frame
+	})
+}
+
+// SendIPv4Proto emits a bare IPv4 packet with an arbitrary protocol number
+// (IP-protocol scans).
+func (h *Host) SendIPv4Proto(dst netip.Addr, proto uint8, payload []byte) {
+	h.sendIPv4(dst, proto, layers.RawPayload(payload))
+}
+
+// SetICMPHook registers an observer for inbound ICMP (scanner probes).
+func (h *Host) SetICMPHook(fn func(*layers.Packet)) { h.onICMPIn = fn }

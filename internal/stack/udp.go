@@ -1,0 +1,129 @@
+package stack
+
+import (
+	"net/netip"
+
+	"iotlan/internal/layers"
+	"iotlan/internal/netx"
+)
+
+// Datagram is a received UDP datagram with its addressing context.
+type Datagram struct {
+	Src     netip.Addr
+	SrcPort uint16
+	Dst     netip.Addr // the address it was sent to (unicast/multicast/bcast)
+	DstPort uint16
+	Payload []byte
+}
+
+// UDPSock is a bound UDP port.
+type UDPSock struct {
+	host *Host
+	Port uint16
+	// OnDatagram handles inbound datagrams; nil sockets still occupy the
+	// port (open but silent, as scans observe).
+	OnDatagram func(dg Datagram)
+}
+
+// OpenUDP binds a UDP port. Binding an in-use port replaces the handler.
+func (h *Host) OpenUDP(port uint16, fn func(dg Datagram)) *UDPSock {
+	s := &UDPSock{host: h, Port: port, OnDatagram: fn}
+	h.udp[port] = s
+	return s
+}
+
+// CloseUDP releases a bound port.
+func (h *Host) CloseUDP(port uint16) { delete(h.udp, port) }
+
+// UDPPortOpen reports whether a port is bound (scan ground truth).
+func (h *Host) UDPPortOpen(port uint16) bool { _, ok := h.udp[port]; return ok }
+
+// OpenUDPEphemeral binds an ephemeral client port.
+func (h *Host) OpenUDPEphemeral(fn func(dg Datagram)) *UDPSock {
+	return h.OpenUDP(h.ephemeralPort(), fn)
+}
+
+// Close releases the socket's port.
+func (s *UDPSock) Close() { s.host.CloseUDP(s.Port) }
+
+// SendTo emits a datagram from this socket.
+func (s *UDPSock) SendTo(dst netip.Addr, dstPort uint16, payload []byte) {
+	s.host.SendUDP(s.Port, dst, dstPort, payload)
+}
+
+// SendUDP emits a UDP datagram. dst may be unicast, multicast or broadcast;
+// IPv6 destinations are sent from the link-local address.
+func (h *Host) SendUDP(srcPort uint16, dst netip.Addr, dstPort uint16, payload []byte) {
+	u := &layers.UDP{SrcPort: srcPort, DstPort: dstPort}
+	if dst.Is6() {
+		if !h.Policy.EnableIPv6 {
+			return
+		}
+		u.SetAddrs(h.ip6, dst)
+		h.sendIPv6(dst, layers.IPProtoUDP, serializeUDP(u, payload))
+		return
+	}
+	u.SetAddrs(h.ip4, dst)
+	h.sendIPv4(dst, layers.IPProtoUDP, serializeUDP(u, payload))
+}
+
+// serializeUDP packages a UDP header+payload as a single Serializable so the
+// IP layer sees the full segment.
+func serializeUDP(u *layers.UDP, payload []byte) layers.Serializable {
+	return serializeFunc(func(rest []byte) ([]byte, error) {
+		seg, err := u.SerializeTo(payload)
+		if err != nil {
+			return nil, err
+		}
+		return append(seg, rest...), nil
+	})
+}
+
+type serializeFunc func([]byte) ([]byte, error)
+
+func (f serializeFunc) SerializeTo(p []byte) ([]byte, error) { return f(p) }
+
+// JoinGroup subscribes to a multicast group, emitting an IGMPv3 report for
+// IPv4 groups (the membership traffic Figure 2 counts).
+func (h *Host) JoinGroup(group netip.Addr) {
+	if h.groups[group] {
+		return
+	}
+	h.groups[group] = true
+	if group.Is4() {
+		h.sendIPv4(netx.IGMPGroup, layers.IPProtoIGMP, &layers.IGMP{
+			Type: layers.IGMPv3Report, Group: group,
+		})
+	}
+}
+
+// LeaveGroup unsubscribes and emits an IGMP leave for IPv4 groups.
+func (h *Host) LeaveGroup(group netip.Addr) {
+	if !h.groups[group] {
+		return
+	}
+	delete(h.groups, group)
+	if group.Is4() {
+		h.sendIPv4(netx.IGMPGroup, layers.IPProtoIGMP, &layers.IGMP{
+			Type: layers.IGMPLeave, Group: group,
+		})
+	}
+}
+
+func (h *Host) handleUDP(p *layers.Packet) {
+	sock, ok := h.udp[p.UDP.DstPort]
+	if !ok {
+		dst := p.DstIP()
+		if h.Policy.RespondUDPUnreachable && dst == h.ip4 && p.HasIP4 {
+			h.sendICMPUnreachable(p.SrcIP(), 3, p.Data[14:]) // port unreachable
+		}
+		return
+	}
+	if sock.OnDatagram != nil {
+		sock.OnDatagram(Datagram{
+			Src: p.SrcIP(), SrcPort: p.UDP.SrcPort,
+			Dst: p.DstIP(), DstPort: p.UDP.DstPort,
+			Payload: p.AppPayload,
+		})
+	}
+}

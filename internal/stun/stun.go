@@ -1,0 +1,74 @@
+// Package stun implements the STUN binding codec (RFC 5389 subset). Smart
+// speakers use STUN for NAT traversal; the classifiers must both recognise
+// it and — per Appendix C.2 — sometimes confuse Google's RTP sync traffic
+// with it.
+package stun
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MagicCookie is the fixed RFC 5389 cookie.
+const MagicCookie = 0x2112a442
+
+// Message types.
+const (
+	BindingRequest  = 0x0001
+	BindingResponse = 0x0101
+)
+
+// Message is a STUN message (attributes kept raw).
+type Message struct {
+	Type          uint16
+	TransactionID [12]byte
+	Attributes    []byte
+}
+
+// Marshal encodes the message.
+func (m *Message) Marshal() []byte {
+	out := make([]byte, 20+len(m.Attributes))
+	binary.BigEndian.PutUint16(out[0:2], m.Type)
+	binary.BigEndian.PutUint16(out[2:4], uint16(len(m.Attributes)))
+	binary.BigEndian.PutUint32(out[4:8], MagicCookie)
+	copy(out[8:20], m.TransactionID[:])
+	copy(out[20:], m.Attributes)
+	return out
+}
+
+// Unmarshal decodes a message, enforcing the magic cookie.
+func Unmarshal(data []byte) (*Message, error) {
+	if len(data) < 20 {
+		return nil, fmt.Errorf("stun: short message")
+	}
+	if binary.BigEndian.Uint32(data[4:8]) != MagicCookie {
+		return nil, fmt.Errorf("stun: bad magic cookie")
+	}
+	n := int(binary.BigEndian.Uint16(data[2:4]))
+	if 20+n > len(data) {
+		return nil, fmt.Errorf("stun: truncated attributes")
+	}
+	m := &Message{Type: binary.BigEndian.Uint16(data[0:2])}
+	copy(m.TransactionID[:], data[8:20])
+	m.Attributes = append([]byte(nil), data[20:20+n]...)
+	return m, nil
+}
+
+// LooksLikeSTUN is the loose heuristic some DPI engines use: first two bits
+// zero and a plausible length. It fires on some RTP-shaped packets too,
+// which is exactly the Appendix C.2 misclassification.
+func LooksLikeSTUN(data []byte) bool {
+	if len(data) < 20 {
+		return false
+	}
+	if data[0]&0xc0 != 0 {
+		return false
+	}
+	n := int(binary.BigEndian.Uint16(data[2:4]))
+	return 20+n <= len(data)
+}
+
+// IsSTUN is the strict check (magic cookie present).
+func IsSTUN(data []byte) bool {
+	return len(data) >= 20 && binary.BigEndian.Uint32(data[4:8]) == MagicCookie
+}

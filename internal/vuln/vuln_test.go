@@ -1,0 +1,181 @@
+package vuln
+
+import (
+	"testing"
+	"time"
+
+	"iotlan/internal/device"
+	"iotlan/internal/testbed"
+)
+
+func auditDevice(t *testing.T, name string) []Finding {
+	t.Helper()
+	var profiles []*device.Profile
+	for _, p := range device.Catalog() {
+		if p.Name == name {
+			profiles = append(profiles, p)
+		}
+	}
+	if len(profiles) != 1 {
+		t.Fatalf("profile %q not found", name)
+	}
+	lab := testbed.NewWith(1, profiles)
+	lab.Start()
+	lab.RunIdle(2 * time.Minute)
+	target := lab.Devices[0]
+
+	auditor := lab.AddHost(251, [6]byte{0x02, 0x51, 0, 0, 0, 1})
+	sc := &Scanner{Host: auditor}
+	var got []Finding
+	sc.Audit(target.IP(), target.Host.TCPPorts(), target.Host.UDPPorts(), func(fs []Finding) { got = fs })
+	lab.Sched.RunFor(2 * time.Minute)
+	if got == nil {
+		t.Fatal("audit never completed")
+	}
+	return got
+}
+
+func ids(fs []Finding) map[string]Finding {
+	m := map[string]Finding{}
+	for _, f := range fs {
+		if _, ok := m[f.ID]; !ok {
+			m[f.ID] = f
+		}
+	}
+	return m
+}
+
+func TestMicrosevenFindings(t *testing.T) {
+	got := ids(auditDevice(t, "microseven-cam"))
+	for _, want := range []string{"CVE-2020-11022", "onvif-unauth-snapshot", "user-account-listing", "recording-path-disclosure", "http-banner"} {
+		if _, ok := got[want]; !ok {
+			t.Errorf("missing finding %s (got %v)", want, keys(got))
+		}
+	}
+	if got["CVE-2020-11022"].Severity != High {
+		t.Errorf("jQuery finding severity %v", got["CVE-2020-11022"].Severity)
+	}
+}
+
+func TestLefunBackupExposure(t *testing.T) {
+	got := ids(auditDevice(t, "lefun-cam"))
+	f, ok := got["http-backup-exposure"]
+	if !ok {
+		t.Fatalf("missing backup exposure (got %v)", keys(got))
+	}
+	if f.Severity != High || f.Port != 80 {
+		t.Fatalf("finding: %+v", f)
+	}
+}
+
+func TestGoogleWeakTLSKey(t *testing.T) {
+	got := ids(auditDevice(t, "google-3")) // Nest Hub
+	f, ok := got["CVE-2016-2183"]
+	if !ok {
+		t.Fatalf("missing small-key finding (got %v)", keys(got))
+	}
+	if f.Port != 8009 || f.Severity != High {
+		t.Fatalf("finding: %+v", f)
+	}
+	if _, ok := got["tls-long-validity"]; !ok {
+		t.Error("missing 20-year-certificate finding")
+	}
+}
+
+func TestHomePodDNSFindings(t *testing.T) {
+	got := ids(auditDevice(t, "homepod-1"))
+	for _, want := range []string{"SheerDNS-1.0.0", "dns-cache-snooping", "dns-version-disclosure", "dns-hostname-disclosure"} {
+		if _, ok := got[want]; !ok {
+			t.Errorf("missing %s (got %v)", want, keys(got))
+		}
+	}
+}
+
+func TestAppleTLS13HidesCert(t *testing.T) {
+	got := auditDevice(t, "apple-tv")
+	for _, f := range got {
+		if f.ID == "CVE-2016-2183" || f.ID == "tls-long-validity" || f.ID == "tls-self-signed" {
+			t.Errorf("cert finding %s should be impossible under TLS 1.3", f.ID)
+		}
+	}
+	m := ids(got)
+	if f, ok := m["tls-service"]; !ok || f.Evidence != "TLSv1.3" {
+		t.Errorf("TLS 1.3 service not detected: %+v", m["tls-service"])
+	}
+}
+
+func TestTPLinkCriticalControl(t *testing.T) {
+	got := ids(auditDevice(t, "tplink-plug"))
+	f, ok := got["tplink-shp-unauth"]
+	if !ok {
+		t.Fatalf("missing unauthenticated control (got %v)", keys(got))
+	}
+	if f.Severity != Critical {
+		t.Fatalf("severity %v", f.Severity)
+	}
+	geo, ok := got["tplink-geolocation-leak"]
+	if !ok {
+		t.Fatal("missing geolocation leak")
+	}
+	if geo.Evidence == "" {
+		t.Fatal("geolocation evidence empty")
+	}
+}
+
+func TestTelnetCamera(t *testing.T) {
+	got := ids(auditDevice(t, "icsee-cam"))
+	f, ok := got["telnet-open"]
+	if !ok {
+		t.Fatalf("missing telnet finding (got %v)", keys(got))
+	}
+	if f.Port != 23 {
+		t.Fatalf("telnet port %d", f.Port)
+	}
+}
+
+func TestUPnPDeprecatedStack(t *testing.T) {
+	got := ids(auditDevice(t, "hue-hub"))
+	if _, ok := got["upnp-1.0"]; !ok {
+		t.Errorf("missing deprecated UPnP finding (got %v)", keys(got))
+	}
+	if _, ok := got["ssdp-usn-exposure"]; !ok {
+		t.Errorf("missing USN exposure finding")
+	}
+}
+
+func TestFindingsMatchCatalogGroundTruth(t *testing.T) {
+	// Every catalog vulnerability on an auditable channel must be found on
+	// a representative device per family.
+	cases := map[string]string{
+		"microseven-cam": "CVE-2020-11022",
+		"google-3":       "CVE-2016-2183",
+		"homepod-1":      "SheerDNS-1.0.0",
+		"tplink-plug":    "tplink-shp-unauth",
+	}
+	for dev, id := range cases {
+		got := ids(auditDevice(t, dev))
+		if _, ok := got[id]; !ok {
+			t.Errorf("%s: ground truth %s not detected", dev, id)
+		}
+	}
+}
+
+func TestSeveritySorting(t *testing.T) {
+	got := auditDevice(t, "tplink-plug")
+	for i := 1; i < len(got); i++ {
+		if got[i].Severity > got[i-1].Severity {
+			t.Fatalf("findings not sorted by severity: %v then %v", got[i-1].Severity, got[i].Severity)
+		}
+	}
+	if Critical.String() != "critical" || Info.String() != "info" {
+		t.Fatal("severity strings")
+	}
+}
+
+func keys(m map[string]Finding) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

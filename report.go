@@ -1,0 +1,452 @@
+package iotlan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iotlan/internal/analysis"
+	"iotlan/internal/app"
+	"iotlan/internal/classify"
+	"iotlan/internal/device"
+	"iotlan/internal/pcap"
+	"iotlan/internal/scan"
+	"iotlan/internal/ssdp"
+	"iotlan/internal/tplink"
+)
+
+// Result pairs a rendered table/figure with its headline numbers so callers
+// (CLI, benches, EXPERIMENTS.md) share one source of truth.
+type Result struct {
+	// ID is the paper artifact ("Figure 1", "Table 2", …).
+	ID string
+	// Rendered is the text rendition.
+	Rendered string
+	// Metrics holds the headline numbers keyed by name.
+	Metrics map[string]float64
+}
+
+// Figure1 builds the device-to-device communication graph.
+func (s *Study) Figure1() Result {
+	s.RunPassive()
+	g := analysis.BuildGraph(s.PassiveRecords(), s.Lab.Devices)
+	return Result{
+		ID:       "Figure 1",
+		Rendered: analysis.RenderGraph(g),
+		Metrics: map[string]float64{
+			"talker_fraction":        g.TalkerFraction(),
+			"edges":                  float64(len(g.Edges)),
+			"intra_cluster_fraction": analysis.IntraClusterFraction(g, s.Lab.Devices),
+		},
+	}
+}
+
+// Figure2 builds the protocol-prevalence chart across all three methods.
+func (s *Study) Figure2() Result {
+	s.RunPassive()
+	if s.Apps == nil {
+		s.Apps = appDatasetFor(s)
+	}
+	rows := analysis.ProtocolTable(s.PassiveRecords(), s.Lab.Devices, s.Scans, s.Apps)
+	metrics := map[string]float64{}
+	for _, r := range rows {
+		metrics["passive/"+r.Protocol] = r.PassivePct
+		if r.ScanPct > 0 {
+			metrics["scan/"+r.Protocol] = r.ScanPct
+		}
+		if r.AppPct > 0 {
+			metrics["apps/"+r.Protocol] = r.AppPct
+		}
+	}
+	avg, max, _ := analysis.AvgProtocolsPerDevice(s.PassiveRecords(), s.Lab.Devices)
+	metrics["avg_protocols_per_device"] = avg
+	metrics["max_protocols_per_device"] = float64(max)
+	return Result{ID: "Figure 2", Rendered: analysis.RenderProtocolTable(rows), Metrics: metrics}
+}
+
+// Table1 builds the information-exposure matrix.
+func (s *Study) Table1() Result {
+	s.RunPassive()
+	m := analysis.BuildExposure(s.PassiveRecords())
+	filled := 0.0
+	for _, proto := range analysis.ExposureRows {
+		for _, f := range analysis.ExposureFields {
+			if m.Exposed(proto, f) {
+				filled++
+			}
+		}
+	}
+	return Result{
+		ID:       "Table 1",
+		Rendered: analysis.RenderExposure(m) + "\nEvidence:\n  " + strings.Join(analysis.ExposureEvidence(m), "\n  "),
+		Metrics:  map[string]float64{"filled_cells": filled},
+	}
+}
+
+// Table2 runs the household-fingerprint entropy analysis.
+func (s *Study) Table2() Result {
+	if s.Inspector == nil {
+		s.RunInspector()
+	}
+	rows := analysis.EntropyTable(s.Inspector)
+	metrics := map[string]float64{}
+	for _, r := range rows {
+		key := strings.ReplaceAll(r.Key(), ", ", "+")
+		metrics["households/"+key] = float64(r.Households)
+		if len(r.Types) > 0 {
+			metrics["unique_pct/"+key] = r.UniquePct
+			metrics["entropy_bits/"+key] = r.EntropyBits
+		}
+	}
+	return Result{ID: "Table 2", Rendered: analysis.RenderEntropyTable(rows), Metrics: metrics}
+}
+
+// Table3 renders the device inventory.
+func (s *Study) Table3() Result {
+	cat := device.Catalog()
+	perCategory := map[device.Category]map[string]int{}
+	for _, p := range cat {
+		if perCategory[p.Category] == nil {
+			perCategory[p.Category] = map[string]int{}
+		}
+		perCategory[p.Category][p.Vendor]++
+	}
+	var cats []device.Category
+	for c := range perCategory {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	var sb strings.Builder
+	models := map[string]bool{}
+	for _, c := range cats {
+		var vendors []string
+		for v := range perCategory[c] {
+			vendors = append(vendors, v)
+		}
+		sort.Strings(vendors)
+		var parts []string
+		for _, v := range vendors {
+			parts = append(parts, fmt.Sprintf("%s (%d)", v, perCategory[c][v]))
+		}
+		fmt.Fprintf(&sb, "%-16s %s\n", c, strings.Join(parts, ", "))
+	}
+	for _, p := range cat {
+		models[p.UniqueModelKey()] = true
+	}
+	return Result{
+		ID:       "Table 3",
+		Rendered: sb.String(),
+		Metrics: map[string]float64{
+			"devices":       float64(len(cat)),
+			"unique_models": float64(len(models)),
+		},
+	}
+}
+
+// Table4 correlates discoveries with responses per device group.
+func (s *Study) Table4() Result {
+	s.RunPassive()
+	rows := analysis.ResponseTable(s.PassiveRecords(), s.Lab.Devices)
+	metrics := map[string]float64{}
+	for _, r := range rows {
+		metrics["responders/"+string(r.Category)] = r.AvgResponders
+		metrics["discovery/"+string(r.Category)] = r.AvgDiscovery
+	}
+	return Result{ID: "Table 4", Rendered: analysis.RenderResponseTable(rows), Metrics: metrics}
+}
+
+// Table5 renders representative identifier-bearing payloads.
+func (s *Study) Table5() Result {
+	s.RunPassive()
+	var sb strings.Builder
+	hue := s.Lab.Device("hue-hub")
+	amcrest := s.Lab.Device("amcrest-cam")
+	plug := s.Lab.Device("tplink-plug")
+
+	if amcrest != nil {
+		doc, _ := amcrest.DescriptionDocument()
+		fmt.Fprintf(&sb, "--- SSDP device description (Amcrest) ---\n%s\n\n", doc)
+	}
+	if hue != nil {
+		fmt.Fprintf(&sb, "--- mDNS instance (Philips Hue) ---\nPhilips Hue - %s._hue._tcp.local TXT bridgeid=%s\n\n",
+			hue.MAC().Tail(3), hue.MAC().Compact())
+	}
+	fmt.Fprintf(&sb, "--- NetBIOS NBSTAT query ---\n% x\n\n", netbiosSample())
+	if plug != nil {
+		fmt.Fprintf(&sb, "--- TPLINK-SHP sysinfo (plaintext after XOR-autokey) ---\n%s\n", tplinkSample(plug))
+	}
+	return Result{ID: "Table 5", Rendered: sb.String(), Metrics: map[string]float64{}}
+}
+
+func netbiosSample() []byte {
+	// The canonical CKAAAA… wildcard node-status query.
+	return []byte("\x00\x01\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00 CKAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA\x00\x00!\x00\x01")
+}
+
+func tplinkSample(d *device.Device) string {
+	spec := d.Profile.TPLink
+	return fmt.Sprintf(`{"system":{"get_sysinfo":{"alias":%q,"dev_name":%q,"mac":%q,"latitude":%v,"longitude":%v}}}`,
+		d.Profile.DisplayName, d.Profile.Model, d.MAC(), spec.Latitude, spec.Longitude)
+}
+
+// Figure3 cross-validates the two classifiers.
+func (s *Study) Figure3() Result {
+	s.RunPassive()
+	flows, nonFlow := classify.Assemble(pcap.FilterLocal(s.PassiveRecords()))
+	c := classify.Compare(flows, nonFlow)
+	spec, dpi, disagree, neither := c.Fractions()
+	return Result{
+		ID:       "Figure 3",
+		Rendered: c.Render(),
+		Metrics: map[string]float64{
+			"units":         float64(c.Total),
+			"spec_labeled":  spec,
+			"dpi_labeled":   dpi,
+			"disagree_frac": disagree,
+			"neither_frac":  neither,
+		},
+	}
+}
+
+// Figure4 extracts the per-vendor cluster subgraphs.
+func (s *Study) Figure4() Result {
+	s.RunPassive()
+	g := analysis.BuildGraph(s.PassiveRecords(), s.Lab.Devices)
+	clusters := analysis.VendorClusters(g, s.Lab.Devices)
+	var keys []string
+	for k := range clusters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	metrics := map[string]float64{}
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%-28s %d edges\n", k, clusters[k])
+		metrics[k] = float64(clusters[k])
+	}
+	return Result{ID: "Figure 4", Rendered: sb.String(), Metrics: metrics}
+}
+
+// OpenPorts summarises the active-scan findings (§4.2).
+func (s *Study) OpenPorts() Result {
+	s.RunScans()
+	uniqueTCP, uniqueUDP := map[uint16]bool{}, map[uint16]bool{}
+	responders := 0
+	echoPortDevices := 0
+	var sb strings.Builder
+	var names []string
+	for n := range s.Scans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := s.Scans[name]
+		if len(r.TCPOpen)+len(r.UDPOpen) > 0 {
+			responders++
+		}
+		hasEchoPorts := false
+		for _, p := range r.TCPOpen {
+			uniqueTCP[p] = true
+			if p == 55442 || p == 55443 || p == 4070 {
+				hasEchoPorts = true
+			}
+		}
+		for _, p := range r.UDPOpen {
+			uniqueUDP[p] = true
+		}
+		for _, p := range r.UDPOpenFiltered {
+			uniqueUDP[p] = true
+		}
+		if hasEchoPorts {
+			echoPortDevices++
+		}
+		if len(r.TCPOpen) > 0 {
+			fmt.Fprintf(&sb, "%-22s tcp:%v udp:%v\n", name, r.TCPOpen, r.UDPOpen)
+		}
+	}
+	fmt.Fprintf(&sb, "\nnmap label corrections (§3.5): %d ports relabeled\n", len(scan.MislabeledPorts()))
+	return Result{
+		ID:       "§4.2 open services",
+		Rendered: sb.String(),
+		Metrics: map[string]float64{
+			"unique_tcp_ports":       float64(len(uniqueTCP)),
+			"unique_udp_ports":       float64(len(uniqueUDP)),
+			"devices_with_open_port": float64(responders),
+			"echo_port_devices":      float64(echoPortDevices),
+		},
+	}
+}
+
+// Intervals summarises the discovery cadences (§5.1).
+func (s *Study) Intervals() Result {
+	s.RunPassive()
+	rows := analysis.DiscoveryIntervals(s.PassiveRecords(), s.Lab.Devices)
+	metrics := map[string]float64{}
+	for _, pair := range [][2]string{
+		{"Google", "mDNS"}, {"Google", "SSDP"}, {"Amazon", "mDNS"}, {"Apple", "mDNS"},
+	} {
+		if med, ok := analysis.VendorMedian(rows, pair[0], pair[1]); ok {
+			metrics[pair[0]+"_"+pair[1]+"_median_s"] = med.Seconds()
+		}
+	}
+	return Result{ID: "§5.1 discovery intervals", Rendered: analysis.RenderIntervals(rows), Metrics: metrics}
+}
+
+// Periodicity runs the Appendix D.1 analysis.
+func (s *Study) Periodicity() Result {
+	s.RunPassive()
+	sum := analysis.SummarizePeriodicity(s.PassiveRecords())
+	return Result{
+		ID: "Appendix D.1",
+		Rendered: fmt.Sprintf("discovery groups=%d periodic=%d fraction=%.2f groups/device=%.1f\n",
+			sum.Groups, sum.Periodic, sum.PeriodicFrac, sum.GroupsPerDevice),
+		Metrics: map[string]float64{
+			"groups":            float64(sum.Groups),
+			"periodic_fraction": sum.PeriodicFrac,
+			"groups_per_device": sum.GroupsPerDevice,
+		},
+	}
+}
+
+// Exfiltration summarises the §6.1/§6.2 app findings.
+func (s *Study) Exfiltration() Result {
+	if s.AppRun == nil {
+		s.RunApps()
+	}
+	appsPer := map[string]map[string]bool{}
+	sdkEndpoints := map[string]bool{}
+	downlinkApps := map[string]bool{}
+	for _, r := range s.AppRun.Records {
+		if appsPer[r.DataType] == nil {
+			appsPer[r.DataType] = map[string]bool{}
+		}
+		appsPer[r.DataType][r.App] = true
+		if r.SDK != "" {
+			sdkEndpoints[r.SDK+"→"+r.Endpoint] = true
+		}
+		if r.Direction == "downlink" {
+			downlinkApps[r.App] = true
+		}
+	}
+	var sb strings.Builder
+	var dataTypes []string
+	for dt := range appsPer {
+		dataTypes = append(dataTypes, dt)
+	}
+	sort.Strings(dataTypes)
+	metrics := map[string]float64{}
+	for _, dt := range dataTypes {
+		n := len(appsPer[dt])
+		fmt.Fprintf(&sb, "%-24s %4d apps\n", dt, n)
+		metrics["apps_sending/"+dt] = float64(n)
+	}
+	var sdks []string
+	for se := range sdkEndpoints {
+		sdks = append(sdks, se)
+	}
+	sort.Strings(sdks)
+	fmt.Fprintf(&sb, "\nSDK exfiltration channels:\n  %s\n", strings.Join(sdks, "\n  "))
+	fmt.Fprintf(&sb, "apps receiving downlink MACs: %d\n", len(downlinkApps))
+	metrics["sdk_channels"] = float64(len(sdkEndpoints))
+	metrics["downlink_apps"] = float64(len(downlinkApps))
+	return Result{ID: "§6.1/§6.2 exfiltration", Rendered: sb.String(), Metrics: metrics}
+}
+
+// VulnSummary aggregates the Nessus-like findings (§5.2).
+func (s *Study) VulnSummary() Result {
+	if s.Findings == nil {
+		s.RunVulnScans()
+	}
+	perID := map[string]int{}
+	var highSev int
+	for _, fs := range s.Findings {
+		for _, f := range fs {
+			perID[f.ID]++
+			if f.Severity >= 3 {
+				highSev++
+			}
+		}
+	}
+	var ids []string
+	for id := range perID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var sb strings.Builder
+	metrics := map[string]float64{"high_or_critical": float64(highSev)}
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "%-28s %3d devices\n", id, perID[id])
+		metrics["devices/"+id] = float64(perID[id])
+	}
+	return Result{ID: "§5.2 vulnerabilities", Rendered: sb.String(), Metrics: metrics}
+}
+
+// HoneypotReport summarises honeypot interactions and token propagation.
+func (s *Study) HoneypotReport() Result {
+	s.RunPassive()
+	inter := s.Honeypot.Interactions()
+	var sb strings.Builder
+	metrics := map[string]float64{}
+	var protos []string
+	for p := range inter {
+		protos = append(protos, p)
+	}
+	sort.Strings(protos)
+	for _, p := range protos {
+		fmt.Fprintf(&sb, "%-8s %5d interactions\n", p, inter[p])
+		metrics[p] = float64(inter[p])
+	}
+	fmt.Fprintf(&sb, "visitors: %d\n", len(s.Honeypot.Visitors()))
+	// Token propagation: did the honeytoken reach any app exfil record?
+	leaked := 0
+	if s.AppRun != nil {
+		for _, r := range s.AppRun.Records {
+			if s.Honeypot.TokenAppearsIn([]byte(r.Value)) {
+				leaked++
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "honeytoken exfiltration records: %d\n", leaked)
+	metrics["visitors"] = float64(len(s.Honeypot.Visitors()))
+	metrics["token_exfil_records"] = float64(leaked)
+	return Result{ID: "honeypot", Rendered: sb.String(), Metrics: metrics}
+}
+
+// Mitigations runs the §7 what-if study: how far do the paper's proposed
+// countermeasures (name minimisation, UUID randomisation, MAC redaction)
+// reduce cross-session household re-identification?
+func (s *Study) Mitigations() Result {
+	if s.Inspector == nil {
+		s.RunInspector()
+	}
+	rows := analysis.MitigationTable(s.Inspector)
+	metrics := map[string]float64{}
+	for _, r := range rows {
+		name := analysis.MitigationName(r.Mitigation)
+		metrics["reid_rate/"+name] = r.ReidRate
+		metrics["entropy/"+name] = r.EntropyBits
+	}
+	return Result{ID: "§7 mitigations", Rendered: analysis.RenderMitigationTable(rows), Metrics: metrics}
+}
+
+// appDatasetFor lets Figure2 run without a full app execution.
+func appDatasetFor(s *Study) []app.App { return app.Dataset(s.Seed) }
+
+// Everything runs all experiments and returns them in paper order.
+func (s *Study) Everything() []Result {
+	s.RunAll()
+	return []Result{
+		s.Table3(), s.Figure1(), s.Figure2(), s.Figure3(), s.Figure4(),
+		s.Table1(), s.OpenPorts(), s.Intervals(), s.Periodicity(),
+		s.VulnSummary(), s.Table4(), s.Table5(),
+		s.Exfiltration(), s.Table2(), s.Mitigations(), s.HoneypotReport(),
+	}
+}
+
+// sampleSSDPAd is exported for examples needing a canned advertisement.
+func sampleSSDPAd(uuid string) ssdp.Advertisement {
+	return ssdp.Advertisement{UUID: uuid, Target: ssdp.TargetBasic, Server: "Linux UPnP/1.0"}
+}
+
+var _ = sampleSSDPAd
+var _ = tplink.Port
