@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench repro examples clean
+.PHONY: all build vet test race bench microbench repro examples clean
 
 all: build vet test
 
@@ -15,7 +15,18 @@ vet:
 test:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 
+# Race-detector pass over the whole module (telemetry counters are the only
+# shared state; they must stay clean under -race).
+race:
+	$(GO) test -race ./... 2>&1 | tee race_output.txt
+
+# Standard benchmark: the 45-virtual-minute idle run of the full lab,
+# recorded as BENCH_1.json (wall time, events/sec, frames/sec).
 bench:
+	$(GO) run ./cmd/iotbench -seed 1 -idle 45m -out BENCH_1.json
+
+# go-test micro benchmarks (per-layer throughput, allocation counts).
+microbench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 # Regenerate every table and figure (writes repro_output.txt).
@@ -29,4 +40,4 @@ examples:
 	$(GO) run ./examples/honeypot
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt race_output.txt BENCH_1.json

@@ -5,17 +5,29 @@
 //
 //	iotrepro [-seed N] [-idle 45m] [-interactions 120] [-households 3860]
 //	         [-apps 0] [-only "Figure 1"] [-pcap-dir DIR]
+//	         [-metrics FILE] [-trace FILE] [-http ADDR]
+//
+// -metrics writes the telemetry report (deterministic metrics snapshot +
+// wall-clock phase profile) as JSON. -trace streams the virtual-time event
+// trace: a .jsonl suffix selects JSON-lines, anything else the Chrome
+// trace_event format (load in chrome://tracing or Perfetto). -http serves
+// expvar (/debug/vars, including live metrics) and pprof (/debug/pprof/)
+// while the run executes — opt-in, nothing listens by default.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"iotlan"
+	"iotlan/internal/obs"
 )
 
 func main() {
@@ -27,6 +39,9 @@ func main() {
 	only := flag.String("only", "", "run a single artifact (e.g. \"Figure 1\", \"Table 2\")")
 	pcapDir := flag.String("pcap-dir", "", "also dump per-device pcaps into this directory")
 	exportDir := flag.String("export", "", "also export datasets (scans, findings, exfiltration, …) as JSON into this directory")
+	metricsFile := flag.String("metrics", "", "write the telemetry report (metrics + phase profile) as JSON to this file (\"-\" for stdout)")
+	traceFile := flag.String("trace", "", "stream the virtual-time event trace to this file (.jsonl → JSON lines, else Chrome trace_event)")
+	httpAddr := flag.String("http", "", "serve expvar and pprof on this address (e.g. localhost:6060) while the run executes")
 	flag.Parse()
 
 	s := iotlan.NewStudy(*seed)
@@ -34,6 +49,37 @@ func main() {
 	s.Interactions = *interactions
 	s.Households = *households
 	s.AppsToRun = *apps
+
+	var traceOut *os.File
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		traceOut = f
+		format := obs.FormatChrome
+		if strings.HasSuffix(*traceFile, ".jsonl") {
+			format = obs.FormatJSONL
+		}
+		s.Trace = obs.NewTracer(traceOut, format)
+	}
+	if *httpAddr != "" {
+		// Live metrics ride on expvar's /debug/vars; the blank pprof import
+		// registers /debug/pprof/ on the same mux.
+		expvar.Publish("iotlan_metrics", expvar.Func(func() interface{} {
+			if s.Lab == nil {
+				return nil
+			}
+			return s.Lab.Telemetry().Registry.SnapshotMap()
+		}))
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "http:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "telemetry endpoint on http://%s/debug/vars (pprof under /debug/pprof/)\n", *httpAddr)
+	}
 
 	start := time.Now()
 	var results []iotlan.Result
@@ -77,7 +123,32 @@ func main() {
 		}
 		fmt.Printf("per-device pcaps written to %s\n", *pcapDir)
 	}
-	fmt.Printf("lab: %s\nwall time: %s\n", s.Lab.Summary(), time.Since(start).Truncate(time.Millisecond))
+	if s.Trace != nil {
+		if err := s.Trace.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+		}
+		fmt.Printf("trace: %d events written to %s\n", s.Trace.Events(), *traceFile)
+		traceOut.Close()
+	}
+	if *metricsFile != "" {
+		report := s.MetricsReport()
+		if *metricsFile == "-" {
+			os.Stdout.Write(report)
+		} else if err := os.WriteFile(*metricsFile, report, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		} else {
+			series := 0
+			if s.Lab != nil {
+				series = s.Lab.Telemetry().Registry.SeriesCount()
+			}
+			fmt.Printf("metrics: %d series written to %s\n", series, *metricsFile)
+		}
+	}
+	if s.Lab != nil {
+		fmt.Printf("lab: %s\n", s.Lab.Summary())
+	}
+	fmt.Printf("wall time: %s\n", time.Since(start).Truncate(time.Millisecond))
 }
 
 func runOne(s *iotlan.Study, id string) (iotlan.Result, error) {

@@ -15,6 +15,7 @@ import (
 	"iotlan/internal/mdns"
 	"iotlan/internal/netbios"
 	"iotlan/internal/netx"
+	"iotlan/internal/obs"
 	"iotlan/internal/rtp"
 	"iotlan/internal/ssdp"
 	"iotlan/internal/stack"
@@ -46,6 +47,11 @@ type Device struct {
 
 	// Started reports whether Start has run.
 	Started bool
+
+	// msg caches device_messages{proto=...} counter handles; the series are
+	// shared across all devices (the registry dedups by key), so they count
+	// LAN-wide messages per protocol.
+	msg map[string]*obs.Counter
 }
 
 // MAC returns the device's hardware address.
@@ -66,6 +72,19 @@ func New(p *Profile, h *stack.Host) *Device {
 		d.Serial = strings.ToUpper(fmt.Sprintf("%x", sum[2:8]))
 	}
 	return d
+}
+
+// count records n protocol messages under device_messages{proto=...}.
+func (d *Device) count(proto string, n uint64) {
+	if d.msg == nil {
+		d.msg = make(map[string]*obs.Counter)
+	}
+	c, ok := d.msg[proto]
+	if !ok {
+		c = d.Host.Sched.Telemetry.Registry.Counter("device_messages", "proto", proto)
+		d.msg[proto] = c
+	}
+	c.Add(n)
 }
 
 // Hostname renders the device's DHCP/mDNS hostname per its policy.
@@ -139,15 +158,17 @@ func (d *Device) Start() {
 		// is near-universal in captures (§4.1: 92%).
 		if cl.Router.IsValid() {
 			gw := cl.Router
-			sched.Every(30*time.Second, 20*time.Minute, 2*time.Minute, func() {
+			sched.EveryTagged("device", 30*time.Second, 20*time.Minute, 2*time.Minute, func() {
+				d.count("arp", 1)
 				d.Host.ARPProbe(gw)
 			})
 			// Connectivity checks: most devices ping the gateway when their
 			// cloud keepalive hiccups — the idle ICMP of §4.1 (78%).
 			if p.RespondsToScans || p.IPv6 {
 				seq := uint16(0)
-				sched.Every(2*time.Minute, 12*time.Minute, 2*time.Minute, func() {
+				sched.EveryTagged("device", 2*time.Minute, 12*time.Minute, 2*time.Minute, func() {
 					seq++
+					d.count("icmp", 1)
 					d.Host.Ping(gw, uint16(d.MAC()[5]), seq)
 				})
 			}
@@ -156,14 +177,14 @@ func (d *Device) Start() {
 	})
 
 	if p.IPv6 {
-		sched.After(500*time.Millisecond, d.Host.AnnounceIPv6)
+		sched.AfterTagged("device", 500*time.Millisecond, d.Host.AnnounceIPv6)
 	}
 	if p.EAPOL {
 		// Periodic EAPOL-Key refresh, hourly like WPA2 group rekeys.
-		sched.Every(time.Minute, time.Hour, time.Minute, d.sendEAPOL)
+		sched.EveryTagged("device", time.Minute, time.Hour, time.Minute, d.sendEAPOL)
 	}
 	if p.XID {
-		sched.Every(90*time.Second, 5*time.Minute, 30*time.Second, d.sendXID)
+		sched.EveryTagged("device", 90*time.Second, 5*time.Minute, 30*time.Second, d.sendXID)
 	}
 }
 
@@ -192,7 +213,10 @@ func (d *Device) onAddressed() {
 		if iv == 0 {
 			iv = 20 * time.Second
 		}
-		sched.Every(2*time.Second, iv, iv/10, dev.Broadcast)
+		sched.EveryTagged("device", 2*time.Second, iv, iv/10, func() {
+			d.count("tuya", 1)
+			dev.Broadcast()
+		})
 	}
 	if p.CoAP {
 		d.startCoAP()
@@ -225,7 +249,8 @@ func (d *Device) onAddressed() {
 		d.startARP()
 	}
 	if p.LifxQuirk {
-		sched.Every(10*time.Minute, 2*time.Hour, 5*time.Minute, func() {
+		sched.EveryTagged("device", 10*time.Minute, 2*time.Hour, 5*time.Minute, func() {
+			d.count("lifx", 1)
 			d.Host.SendUDP(56700, netx.Broadcast4, 56700, lifxGetService())
 		})
 	}
@@ -245,6 +270,7 @@ func lifxGetService() []byte {
 }
 
 func (d *Device) sendEAPOL() {
+	d.count("eapol", 1)
 	frame, err := layers.Serialize(
 		&layers.Ethernet{Src: d.MAC(), Dst: netx.MAC{0x01, 0x80, 0xc2, 0x00, 0x00, 0x03}, EtherType: layers.EtherTypeEAPOL},
 		&layers.EAPOL{Version: 2, PacketType: 3, Body: make([]byte, 95)})
@@ -254,6 +280,7 @@ func (d *Device) sendEAPOL() {
 }
 
 func (d *Device) sendXID() {
+	d.count("llc-xid", 1)
 	frame, err := layers.Serialize(
 		&layers.Ethernet{Src: d.MAC(), Dst: netx.Broadcast, EtherType: 3}, // 802.3 length
 		&layers.LLC{DSAP: 0, SSAP: 1, Control: 0xaf, Info: []byte{0x81, 1, 0}})
@@ -290,11 +317,15 @@ func (d *Device) startMDNS() {
 	}
 	d.mdnsResp.Start()
 	if b.AnnounceInterval > 0 {
-		d.Host.Sched.Every(time.Second, b.AnnounceInterval, b.AnnounceInterval/10, d.mdnsResp.Announce)
+		d.Host.Sched.EveryTagged("device", time.Second, b.AnnounceInterval, b.AnnounceInterval/10, func() {
+			d.count("mdns", 1)
+			d.mdnsResp.Announce()
+		})
 	}
 	if b.QueryInterval > 0 && len(b.QueryTypes) > 0 {
 		i := 0
-		d.Host.Sched.Every(3*time.Second, b.QueryInterval, b.QueryInterval/10, func() {
+		d.Host.Sched.EveryTagged("device", 3*time.Second, b.QueryInterval, b.QueryInterval/10, func() {
+			d.count("mdns", 1)
 			mdns.Query(d.Host, b.QueryTypes[i%len(b.QueryTypes)], false)
 			i++
 		})
@@ -329,7 +360,8 @@ func (d *Device) startSSDP() {
 		d.Host.ListenTCP(uint16(eventPort), func(*stack.TCPConn) {})
 	}
 	if b.NotifyInterval > 0 {
-		d.Host.Sched.Every(2*time.Second, b.NotifyInterval, b.NotifyInterval/10, func() {
+		d.Host.Sched.EveryTagged("device", 2*time.Second, b.NotifyInterval, b.NotifyInterval/10, func() {
+			d.count("ssdp", 1)
 			d.ssdpResp.NotifyAll()
 			if b.AnnounceBadAddress {
 				// Fire TV's misconfigured /16 announcement.
@@ -346,7 +378,8 @@ func (d *Device) startSSDP() {
 		// the plaintext HTTP that 17 SSDP-related devices generate (§5.2).
 		fetched := map[string]bool{}
 		i := 0
-		d.Host.Sched.Every(2*time.Minute, b.SearchInterval, b.SearchInterval/10, func() {
+		d.Host.Sched.EveryTagged("device", 2*time.Minute, b.SearchInterval, b.SearchInterval/10, func() {
+			d.count("ssdp", 1)
 			ssdp.Search(d.Host, b.SearchTargets[i%len(b.SearchTargets)], func(m *ssdp.Message, from netip.Addr) {
 				loc := m.Location()
 				if loc == "" || fetched[loc] {
@@ -422,7 +455,8 @@ func (d *Device) startTPLink() {
 		if iv == 0 {
 			iv = time.Hour
 		}
-		d.Host.Sched.Every(30*time.Second, iv, iv/10, func() {
+		d.Host.Sched.EveryTagged("device", 30*time.Second, iv, iv/10, func() {
+			d.count("tplink", 1)
 			tplink.Discover(d.Host, nil)
 		})
 	}
@@ -441,7 +475,8 @@ func (d *Device) startCoAP() {
 		d.Host.SendUDP(coap.Port, dg.Src, dg.SrcPort, coap.NewContent(m, []byte(body)).Marshal())
 	})
 	id := uint16(1)
-	d.Host.Sched.Every(time.Minute, 10*time.Minute, time.Minute, func() {
+	d.Host.Sched.EveryTagged("device", time.Minute, 10*time.Minute, time.Minute, func() {
+		d.count("coap", 1)
 		d.Host.SendUDP(coap.Port, netx.CoAPGroup, coap.Port, coap.NewGET(id, "/oic/res").Marshal())
 		id++
 	})
@@ -517,24 +552,29 @@ func (d *Device) startTelnet() {
 func (d *Device) startARP() {
 	b := d.Profile.ARP
 	if b.SweepInterval > 0 {
-		d.Host.Sched.Every(time.Minute, b.SweepInterval, b.SweepInterval/10, func() {
+		d.Host.Sched.EveryTagged("device", time.Minute, b.SweepInterval, b.SweepInterval/10, func() {
 			base := d.IP().As4()
+			probes := uint64(0)
 			for host := byte(1); host < 255; host++ {
 				base[3] = host
 				target := netip.AddrFrom4(base)
 				if target != d.IP() {
 					d.Host.ARPProbe(target)
+					probes++
 				}
 			}
 			if b.RequestsPublicIPs {
 				d.Host.ARPProbe(netip.AddrFrom4([4]byte{8, 8, 8, 8}))
+				probes++
 			}
+			d.count("arp", probes)
 		})
 	}
 	if b.UnicastProbes {
-		d.Host.Sched.Every(5*time.Minute, time.Hour, 5*time.Minute, func() {
+		d.Host.Sched.EveryTagged("device", 5*time.Minute, time.Hour, 5*time.Minute, func() {
 			for _, peer := range d.Peers {
 				if peer.IP().IsValid() {
+					d.count("arp", 1)
 					d.Host.ARPProbeUnicast(peer.MAC(), peer.IP())
 				}
 			}
@@ -545,7 +585,7 @@ func (d *Device) startARP() {
 func (d *Device) startICMPv6Probes() {
 	count := d.Profile.ICMPv6ProbeCount
 	sent := 0
-	d.Host.Sched.Every(time.Minute, 30*time.Second, 5*time.Second, func() {
+	d.Host.Sched.EveryTagged("device", time.Minute, 30*time.Second, 5*time.Second, func() {
 		if sent >= count {
 			return
 		}
@@ -553,6 +593,7 @@ func (d *Device) startICMPv6Probes() {
 			var a [16]byte
 			a[0], a[1] = 0xfe, 0x80
 			d.Host.Sched.Rand().Read(a[8:])
+			d.count("icmpv6-probe", 1)
 			d.Host.SendUDP(5353, netip.AddrFrom16(a), 5353, nil)
 			sent++
 		}
@@ -563,6 +604,11 @@ func (d *Device) startICMPv6Probes() {
 func (d *Device) RTPSync(peer *Device, packets int) {
 	if d.Profile.RTPPort == 0 || !peer.IP().IsValid() {
 		return
+	}
+	d.count("rtp", uint64(packets))
+	if d.Host.Sched.Tracing() {
+		d.Host.Sched.TraceEvent("proto", "rtp-sync",
+			"from", d.Profile.Name, "to", peer.Profile.Name)
 	}
 	ssrc := uint32(md5.Sum([]byte(d.Profile.Name))[0])<<8 | 0x42
 	for i := 0; i < packets; i++ {
@@ -583,6 +629,11 @@ func (d *Device) DialPeerTLS(peer *Device) {
 	}
 	if spec == nil || !peer.IP().IsValid() {
 		return
+	}
+	d.count("tls", 1)
+	if d.Host.Sched.Tracing() {
+		d.Host.Sched.TraceEvent("proto", "tls-dial",
+			"from", d.Profile.Name, "to", peer.Profile.Name)
 	}
 	cfg := tlsx.Config{Version: spec.Version}
 	if spec.TwoWay {

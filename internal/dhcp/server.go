@@ -4,6 +4,7 @@ import (
 	"net/netip"
 
 	"iotlan/internal/netx"
+	"iotlan/internal/obs"
 	"iotlan/internal/stack"
 )
 
@@ -27,16 +28,22 @@ type Server struct {
 	// Reserved pins specific MACs to addresses (the testbed assigns devices
 	// stable IPs so multi-day captures stay comparable).
 	Reserved map[netx.MAC]netip.Addr
+
+	cDiscover, cRequest, cLeases *obs.Counter
 }
 
 // NewServer starts a DHCP server on the router host (UDP 67).
 func NewServer(h *stack.Host) *Server {
+	reg := h.Sched.Telemetry.Registry
 	s := &Server{
-		Host:     h,
-		Router:   h.IPv4(),
-		next:     100,
-		Leases:   make(map[netx.MAC]*Lease),
-		Reserved: make(map[netx.MAC]netip.Addr),
+		Host:      h,
+		Router:    h.IPv4(),
+		next:      100,
+		Leases:    make(map[netx.MAC]*Lease),
+		Reserved:  make(map[netx.MAC]netip.Addr),
+		cDiscover: reg.Counter("dhcp_messages", "type", "discover"),
+		cRequest:  reg.Counter("dhcp_messages", "type", "request"),
+		cLeases:   reg.Counter("dhcp_leases"),
 	}
 	h.OpenUDP(67, s.onDatagram)
 	return s
@@ -64,14 +71,23 @@ func (s *Server) onDatagram(dg stack.Datagram) {
 	var reply *Message
 	switch m.Type() {
 	case Discover:
+		s.cDiscover.Inc()
 		reply = NewReply(Offer, m.ClientHW, m.XID, ip, s.Router, s.Router, s.Router)
 	case Request:
+		s.cRequest.Inc()
 		reply = NewReply(Ack, m.ClientHW, m.XID, ip, s.Router, s.Router, s.Router)
+		if _, renewal := s.Leases[m.ClientHW]; !renewal {
+			s.cLeases.Inc()
+		}
 		s.Leases[m.ClientHW] = &Lease{
 			HW: m.ClientHW, IP: ip,
 			Hostname:    m.Hostname(),
 			VendorClass: m.VendorClass(),
 			ParamCodes:  append([]uint8(nil), m.ParamRequest()...),
+		}
+		if s.Host.Sched.Tracing() {
+			s.Host.Sched.TraceEvent("dhcp", "lease",
+				"mac", m.ClientHW.String(), "ip", ip.String(), "hostname", m.Hostname())
 		}
 	default:
 		return

@@ -8,6 +8,7 @@ import (
 
 	"iotlan/internal/layers"
 	"iotlan/internal/netx"
+	"iotlan/internal/obs"
 	"iotlan/internal/sim"
 )
 
@@ -23,6 +24,12 @@ type Node interface {
 
 // TapFunc observes every frame on the network, like tcpdump on the AP.
 type TapFunc func(at time.Time, frame []byte)
+
+// Drop reasons for lan_frames_dropped{reason=...}.
+const (
+	DropUndecodable    = "undecodable"
+	DropUnknownUnicast = "unknown-unicast"
+)
 
 // Network is the simulated switch. Frames submitted with Send are delivered
 // after a fixed propagation delay via the shared scheduler, so all traffic
@@ -40,15 +47,96 @@ type Network struct {
 
 	// FramesDelivered counts deliveries (multicast counts once per receiver).
 	FramesDelivered uint64
+
+	cDelivered *obs.Counter
+	cDropped   map[string]*obs.Counter
+	// byType caches the lan_frames_total{cast,ethertype} handles; the key
+	// packs the ethertype class index with the multicast bit.
+	byType map[int]*obs.Counter
 }
 
 // New creates a network on the given scheduler.
 func New(sched *sim.Scheduler) *Network {
+	reg := sched.Telemetry.Registry
 	return &Network{
-		Sched:   sched,
-		Latency: 250 * time.Microsecond,
-		nodes:   make(map[netx.MAC]Node),
+		Sched:      sched,
+		Latency:    250 * time.Microsecond,
+		nodes:      make(map[netx.MAC]Node),
+		cDelivered: reg.Counter("lan_frames_delivered"),
+		cDropped: map[string]*obs.Counter{
+			DropUndecodable:    reg.Counter("lan_frames_dropped", "reason", DropUndecodable),
+			DropUnknownUnicast: reg.Counter("lan_frames_dropped", "reason", DropUnknownUnicast),
+		},
+		byType: make(map[int]*obs.Counter),
 	}
+}
+
+// etherName classifies an EtherType for the frames-by-type series.
+func etherName(et uint16) string {
+	switch {
+	case et == layers.EtherTypeIPv4:
+		return "ipv4"
+	case et == layers.EtherTypeARP:
+		return "arp"
+	case et == layers.EtherTypeIPv6:
+		return "ipv6"
+	case et == layers.EtherTypeEAPOL:
+		return "eapol"
+	case et <= 1500: // 802.3 length field (LLC/XID)
+		return "llc"
+	default:
+		return "other"
+	}
+}
+
+// etherClass maps etherName values to small ints for handle caching.
+func etherClass(et uint16) int {
+	switch {
+	case et == layers.EtherTypeIPv4:
+		return 0
+	case et == layers.EtherTypeARP:
+		return 1
+	case et == layers.EtherTypeIPv6:
+		return 2
+	case et == layers.EtherTypeEAPOL:
+		return 3
+	case et <= 1500:
+		return 4
+	default:
+		return 5
+	}
+}
+
+func (n *Network) frameCounter(et uint16, multicast bool) *obs.Counter {
+	key := etherClass(et) << 1
+	cast := "unicast"
+	if multicast {
+		key |= 1
+		cast = "multicast"
+	}
+	c, ok := n.byType[key]
+	if !ok {
+		c = n.Sched.Telemetry.Registry.Counter("lan_frames_total",
+			"ethertype", etherName(et), "cast", cast)
+		n.byType[key] = c
+	}
+	return c
+}
+
+// drop counts a dropped frame; real switches drop silently, the telemetry
+// layer does not.
+func (n *Network) drop(reason string) {
+	n.cDropped[reason].Inc()
+	n.Sched.TraceEvent("lan", "drop", "reason", reason)
+}
+
+// FramesDropped reports the total dropped frames across all reasons.
+func (n *Network) FramesDropped() uint64 {
+	var sum uint64
+	for _, c := range n.cDropped {
+		sum += c.Value()
+	}
+	return sum
 }
 
 // Attach connects a node. Attaching an already-present MAC replaces the node
@@ -86,23 +174,32 @@ func (n *Network) NodeCount() int { return len(n.nodes) }
 func (n *Network) Send(frame []byte) {
 	var eth layers.Ethernet
 	if eth.DecodeFromBytes(frame) != nil {
-		return // unframeable garbage is dropped silently, like real L2
+		n.drop(DropUndecodable) // unframeable garbage, like real L2 — but counted
+		return
+	}
+	multicast := eth.Dst.IsMulticast()
+	n.frameCounter(eth.EtherType, multicast).Inc()
+	if n.Sched.Tracing() {
+		n.Sched.TraceEvent("lan", "frame",
+			"ethertype", etherName(eth.EtherType),
+			"src", eth.Src.String(), "dst", eth.Dst.String())
 	}
 	for _, tap := range n.taps {
 		tap(n.Sched.Now(), frame)
 	}
-	if eth.Dst.IsMulticast() { // broadcast has the group bit set too
+	if multicast { // broadcast has the group bit set too
 		// One scheduler event fans out to every receiver: all stations hear
 		// a multicast frame at the same instant, and batching keeps the
 		// event queue small on busy discovery traffic.
 		src := eth.Src
-		n.Sched.After(n.Latency, func() {
+		n.Sched.AfterTagged("lan", n.Latency, func() {
 			for _, mac := range n.order {
 				if mac == src {
 					continue
 				}
 				if node, ok := n.nodes[mac]; ok {
 					n.FramesDelivered++
+					n.cDelivered.Inc()
 					node.HandleFrame(frame)
 				}
 			}
@@ -110,11 +207,14 @@ func (n *Network) Send(frame []byte) {
 		return
 	}
 	if node, ok := n.nodes[eth.Dst]; ok {
-		n.Sched.After(n.Latency, func() {
+		n.Sched.AfterTagged("lan", n.Latency, func() {
 			n.FramesDelivered++
+			n.cDelivered.Inc()
 			node.HandleFrame(frame)
 		})
+		return
 	}
 	// Unknown unicast destinations are dropped: the switch has a complete
 	// station table because every node Attaches explicitly.
+	n.drop(DropUnknownUnicast)
 }

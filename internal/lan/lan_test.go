@@ -142,6 +142,45 @@ func TestGarbageFrameDropped(t *testing.T) {
 	}
 }
 
+func TestDropAccounting(t *testing.T) {
+	s, n, a, _, _ := setup()
+	n.Send([]byte{1, 2, 3})                                // undecodable
+	n.Send(frame(t, a.mac, netx.MAC{0xde, 0xad, 0, 0, 0, 1})) // unknown unicast
+	n.Send(frame(t, a.mac, netx.MAC{0xde, 0xad, 0, 0, 0, 2})) // unknown unicast
+	s.RunFor(time.Second)
+	if got := n.FramesDropped(); got != 3 {
+		t.Fatalf("FramesDropped = %d, want 3", got)
+	}
+	reg := s.Telemetry.Registry
+	if got := reg.CounterValue("lan_frames_dropped{reason=undecodable}"); got != 1 {
+		t.Fatalf("undecodable drops = %d, want 1", got)
+	}
+	if got := reg.CounterValue("lan_frames_dropped{reason=unknown-unicast}"); got != 2 {
+		t.Fatalf("unknown-unicast drops = %d, want 2", got)
+	}
+}
+
+func TestFrameTypeAccounting(t *testing.T) {
+	s, n, a, b, _ := setup()
+	n.Send(frame(t, a.mac, b.mac))          // unicast ipv4
+	n.Send(frame(t, a.mac, netx.Broadcast)) // multicast ipv4
+	s.RunFor(time.Second)
+	reg := s.Telemetry.Registry
+	if got := reg.CounterValue("lan_frames_total{cast=unicast,ethertype=ipv4}"); got != 1 {
+		t.Fatalf("unicast ipv4 frames = %d, want 1", got)
+	}
+	if got := reg.CounterValue("lan_frames_total{cast=multicast,ethertype=ipv4}"); got != 1 {
+		t.Fatalf("multicast ipv4 frames = %d, want 1", got)
+	}
+	// Deliveries: 1 unicast + 2 broadcast receivers.
+	if got := reg.CounterValue("lan_frames_delivered"); got != 3 {
+		t.Fatalf("delivered = %d, want 3", got)
+	}
+	if n.FramesDelivered != 3 {
+		t.Fatalf("FramesDelivered field = %d, want 3", n.FramesDelivered)
+	}
+}
+
 func TestDeliveryLatency(t *testing.T) {
 	s, n, a, b, _ := setup()
 	start := s.Now()

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// PhaseStat aggregates one named pipeline phase. Wall-clock numbers live
+// here — NOT in the Registry — so metric snapshots stay deterministic while
+// the profile captures real machine performance.
+type PhaseStat struct {
+	Name string `json:"name"`
+	// Calls counts how many times the phase ran (idempotent phases re-enter
+	// with near-zero cost; the profile shows that).
+	Calls int `json:"calls"`
+	// WallMS is total wall-clock milliseconds across calls.
+	WallMS float64 `json:"wall_ms"`
+	// Events is the number of simulator events dispatched during the phase.
+	Events uint64 `json:"events"`
+	// VirtualS is virtual seconds the simulation advanced during the phase.
+	VirtualS float64 `json:"virtual_s"`
+	// EventsPerSec is Events over wall time — the simulator's throughput
+	// while this phase ran.
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// Profiler records per-phase wall-clock and event-count statistics for a
+// pipeline run, preserving first-execution order.
+type Profiler struct {
+	mu     sync.Mutex
+	order  []string
+	byName map[string]*PhaseStat
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{byName: make(map[string]*PhaseStat)}
+}
+
+// Add folds one phase execution into the profile.
+func (p *Profiler) Add(name string, wall time.Duration, events uint64, virtual time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.byName[name]
+	if !ok {
+		st = &PhaseStat{Name: name}
+		p.byName[name] = st
+		p.order = append(p.order, name)
+	}
+	st.Calls++
+	st.WallMS += float64(wall) / float64(time.Millisecond)
+	st.Events += events
+	st.VirtualS += virtual.Seconds()
+	if st.WallMS > 0 {
+		st.EventsPerSec = float64(st.Events) / (st.WallMS / 1000)
+	}
+}
+
+// Phases returns the recorded stats in first-execution order.
+func (p *Profiler) Phases() []PhaseStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PhaseStat, 0, len(p.order))
+	for _, name := range p.order {
+		out = append(out, *p.byName[name])
+	}
+	return out
+}
+
+// JSON renders the profile as an indented JSON array of phases.
+func (p *Profiler) JSON() []byte {
+	b, err := json.MarshalIndent(p.Phases(), "", "  ")
+	if err != nil { // unreachable: PhaseStat always marshals
+		return []byte("[]")
+	}
+	return b
+}

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"iotlan/internal/obs"
 )
 
 // Epoch is the virtual time at which every simulation starts. A fixed epoch
@@ -22,6 +24,7 @@ type event struct {
 	at  time.Time
 	seq uint64 // tie-breaker: FIFO among equal timestamps
 	fn  func()
+	src string // telemetry source tag ("lan", "device", …)
 }
 
 type eventHeap []*event
@@ -44,6 +47,13 @@ func (h *eventHeap) Pop() interface{} {
 	return ev
 }
 
+// srcStats caches the per-source counter handles so the dispatch loop never
+// touches the registry's mutex-guarded maps.
+type srcStats struct {
+	processed *obs.Counter
+	cancelled *obs.Counter
+}
+
 // Scheduler is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; all simulated work runs inside Run on the caller's
 // goroutine, which is exactly what makes traces deterministic.
@@ -56,14 +66,28 @@ type Scheduler struct {
 
 	// Processed counts executed events, mostly for tests and stats output.
 	Processed uint64
+	// Cancelled counts events that were popped already cancelled (their
+	// Timer was stopped before they fired).
+	Cancelled uint64
+
+	// Telemetry is the simulation-wide metrics/tracing hub. Every layer
+	// reaches it through the scheduler it already holds.
+	Telemetry *obs.Telemetry
+
+	gQueue   *obs.Gauge
+	bySource map[string]*srcStats
 }
 
 // NewScheduler returns a scheduler whose clock starts at Epoch and whose
 // random stream is derived from seed.
 func NewScheduler(seed int64) *Scheduler {
+	tel := obs.NewTelemetry()
 	return &Scheduler{
-		now: Epoch,
-		rng: rand.New(rand.NewSource(seed)),
+		now:       Epoch,
+		rng:       rand.New(rand.NewSource(seed)),
+		Telemetry: tel,
+		gQueue:    tel.Registry.Gauge("sim_queue_depth"),
+		bySource:  make(map[string]*srcStats),
 	}
 }
 
@@ -74,12 +98,51 @@ func (s *Scheduler) Now() time.Time { return s.now }
 // jitter must come from here so that a seed fully determines a run.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 
-// Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
+// VirtualMicros is the current virtual time in microseconds since Epoch —
+// the timestamp unit trace records use.
+func (s *Scheduler) VirtualMicros() int64 { return s.now.Sub(Epoch).Microseconds() }
 
-// Stop cancels the timer. It is safe to call on an already-fired timer.
+// TraceEvent emits a tracer record stamped with the current virtual time.
+// It is free when no tracer is attached.
+func (s *Scheduler) TraceEvent(cat, name string, args ...string) {
+	if t := s.Telemetry.Tracer; t != nil {
+		t.Event(s.VirtualMicros(), cat, name, args...)
+	}
+}
+
+// Tracing reports whether a tracer is attached, so callers can skip
+// building argument strings for disabled tracing.
+func (s *Scheduler) Tracing() bool { return s.Telemetry.Tracer != nil }
+
+func (s *Scheduler) stats(source string) *srcStats {
+	st, ok := s.bySource[source]
+	if !ok {
+		st = &srcStats{
+			processed: s.Telemetry.Registry.Counter("sim_events_processed", "source", source),
+			cancelled: s.Telemetry.Registry.Counter("sim_events_cancelled", "source", source),
+		}
+		s.bySource[source] = st
+	}
+	return st
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	ev *event
+	// stopped latches cancellation so recurring timers (Every) stop even
+	// when Stop is called from inside their own callback, where ev already
+	// points at the event being dispatched.
+	stopped bool
+}
+
+// Stop cancels the timer. It is safe to call on an already-fired timer, and
+// on a recurring timer it cancels all future recurrences.
 func (t *Timer) Stop() {
-	if t != nil && t.ev != nil {
+	if t == nil {
+		return
+	}
+	t.stopped = true
+	if t.ev != nil {
 		t.ev.fn = nil
 	}
 }
@@ -87,28 +150,51 @@ func (t *Timer) Stop() {
 // At schedules fn to run at the given virtual time. Times in the past run at
 // the current time (next dispatch).
 func (s *Scheduler) At(at time.Time, fn func()) *Timer {
+	return s.AtTagged("other", at, fn)
+}
+
+// AtTagged is At with a telemetry source tag: dispatches are counted under
+// sim_events_processed{source=...}.
+func (s *Scheduler) AtTagged(source string, at time.Time, fn func()) *Timer {
 	if at.Before(s.now) {
 		at = s.now
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
+	ev := &event{at: at, seq: s.seq, fn: fn, src: source}
 	s.seq++
 	heap.Push(&s.events, ev)
+	s.gQueue.Set(int64(len(s.events)))
 	return &Timer{ev: ev}
 }
 
 // After schedules fn to run d after the current virtual time.
 func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
-	return s.At(s.now.Add(d), fn)
+	return s.AtTagged("other", s.now.Add(d), fn)
+}
+
+// AfterTagged is After with a telemetry source tag.
+func (s *Scheduler) AfterTagged(source string, d time.Duration, fn func()) *Timer {
+	return s.AtTagged(source, s.now.Add(d), fn)
 }
 
 // Every schedules fn to run now+first and then every period thereafter, with
 // ±jitter applied to each recurrence (0 disables jitter). It returns a Timer
 // whose Stop cancels future recurrences.
 func (s *Scheduler) Every(first, period, jitter time.Duration, fn func()) *Timer {
+	return s.EveryTagged("other", first, period, jitter, fn)
+}
+
+// EveryTagged is Every with a telemetry source tag.
+func (s *Scheduler) EveryTagged(source string, first, period, jitter time.Duration, fn func()) *Timer {
 	handle := &Timer{}
 	var tick func()
 	tick = func() {
+		if handle.stopped { // stopped from within an earlier tick
+			return
+		}
 		fn()
+		if handle.stopped { // stopped from within fn itself
+			return
+		}
 		d := period
 		if jitter > 0 {
 			d += time.Duration(s.rng.Int63n(int64(2*jitter))) - jitter
@@ -116,9 +202,9 @@ func (s *Scheduler) Every(first, period, jitter time.Duration, fn func()) *Timer
 				d = period
 			}
 		}
-		handle.ev = s.After(d, tick).ev
+		handle.ev = s.AfterTagged(source, d, tick).ev
 	}
-	handle.ev = s.After(first, tick).ev
+	handle.ev = s.AfterTagged(source, first, tick).ev
 	return handle
 }
 
@@ -131,20 +217,28 @@ func (s *Scheduler) Stop() { s.stopped = true }
 func (s *Scheduler) Run(until time.Time) uint64 {
 	start := s.Processed
 	s.stopped = false
+	tracing := s.Telemetry.Tracer != nil
 	for len(s.events) > 0 && !s.stopped {
 		ev := s.events[0]
 		if ev.at.After(until) {
 			break
 		}
 		heap.Pop(&s.events)
+		s.gQueue.Set(int64(len(s.events)))
 		if ev.fn == nil { // cancelled
+			s.Cancelled++
+			s.stats(ev.src).cancelled.Inc()
 			continue
 		}
 		s.now = ev.at
 		fn := ev.fn
 		ev.fn = nil
+		if tracing {
+			s.Telemetry.Tracer.Event(s.VirtualMicros(), "sim", "dispatch", "source", ev.src)
+		}
 		fn()
 		s.Processed++
+		s.stats(ev.src).processed.Inc()
 	}
 	if s.now.Before(until) {
 		s.now = until
@@ -160,6 +254,6 @@ func (s *Scheduler) Pending() int { return len(s.events) }
 
 // String implements fmt.Stringer for debug output.
 func (s *Scheduler) String() string {
-	return fmt.Sprintf("sim.Scheduler{now=%s pending=%d processed=%d}",
-		s.now.Format(time.RFC3339), len(s.events), s.Processed)
+	return fmt.Sprintf("sim.Scheduler{now=%s pending=%d processed=%d cancelled=%d}",
+		s.now.Format(time.RFC3339), len(s.events), s.Processed, s.Cancelled)
 }

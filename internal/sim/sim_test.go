@@ -74,6 +74,77 @@ func TestEveryRecursAndStops(t *testing.T) {
 	}
 }
 
+// A stopped Every recurrence must not fire and must be accounted as a
+// cancelled event, not a processed one.
+func TestEveryStopCountsCancelledNotProcessed(t *testing.T) {
+	s := NewScheduler(1)
+	n := 0
+	tm := s.EveryTagged("test", time.Second, time.Second, 0, func() { n++ })
+	s.RunFor(3500 * time.Millisecond)
+	if n != 3 {
+		t.Fatalf("Every fired %d times before Stop, want 3", n)
+	}
+	processedBefore := s.Processed
+	tm.Stop()
+	s.RunFor(10 * time.Second)
+	if n != 3 {
+		t.Fatalf("Every fired after Stop: %d", n)
+	}
+	if s.Cancelled != 1 {
+		t.Fatalf("Cancelled = %d, want 1 (the pending recurrence)", s.Cancelled)
+	}
+	if s.Processed != processedBefore {
+		t.Fatalf("cancelled recurrence counted as processed (%d → %d)",
+			processedBefore, s.Processed)
+	}
+	reg := s.Telemetry.Registry
+	if got := reg.CounterValue("sim_events_cancelled{source=test}"); got != 1 {
+		t.Fatalf("sim_events_cancelled{source=test} = %d, want 1", got)
+	}
+	if got := reg.CounterValue("sim_events_processed{source=test}"); got != 3 {
+		t.Fatalf("sim_events_processed{source=test} = %d, want 3", got)
+	}
+}
+
+// Stopping a recurring timer from inside its own callback must halt the
+// recurrence: the in-flight tick already rescheduled nothing.
+func TestEveryStopFromInsideCallback(t *testing.T) {
+	s := NewScheduler(1)
+	n := 0
+	var tm *Timer
+	tm = s.Every(time.Second, time.Second, 0, func() {
+		n++
+		if n == 2 {
+			tm.Stop()
+		}
+	})
+	s.RunFor(time.Minute)
+	if n != 2 {
+		t.Fatalf("Every fired %d times, want exactly 2 (stopped inside tick)", n)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("stopped recurrence left %d events queued", s.Pending())
+	}
+}
+
+func TestSchedulerSourceAccounting(t *testing.T) {
+	s := NewScheduler(1)
+	s.AfterTagged("lan", time.Second, func() {})
+	s.AfterTagged("lan", 2*time.Second, func() {})
+	s.After(3*time.Second, func() {}) // untagged → "other"
+	s.RunFor(time.Minute)
+	reg := s.Telemetry.Registry
+	if got := reg.CounterValue("sim_events_processed{source=lan}"); got != 2 {
+		t.Fatalf("lan-source events = %d, want 2", got)
+	}
+	if got := reg.CounterValue("sim_events_processed{source=other}"); got != 1 {
+		t.Fatalf("other-source events = %d, want 1", got)
+	}
+	if got := reg.Total("sim_events_processed"); got != s.Processed {
+		t.Fatalf("registry total %d != Processed %d", got, s.Processed)
+	}
+}
+
 func TestEveryJitterStaysPositive(t *testing.T) {
 	s := NewScheduler(42)
 	n := 0

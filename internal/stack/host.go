@@ -90,6 +90,10 @@ type Host struct {
 	// foreignARP tracks, per sender, the last broadcast who-has for an IP
 	// other than ours — the sweep detector behind RespondARPBroadcast.
 	foreignARP map[netx.MAC]time.Time
+
+	// tcp caches the stack-layer telemetry handles (shared series across
+	// hosts; see newTCPStats).
+	tcp *tcpStats
 }
 
 // NewHost attaches a new host with the given MAC to the network. The IP is
@@ -107,6 +111,7 @@ func NewHost(network *lan.Network, mac netx.MAC, policy Policy) *Host {
 		tcpL:     make(map[uint16]*TCPListener),
 		tcpConns: make(map[connKey]*TCPConn),
 		nextPort: 32768,
+		tcp:      newTCPStats(network.Sched.Telemetry.Registry),
 	}
 	if policy.EnableIPv6 {
 		h.ip6 = netx.LinkLocalV6(mac)
@@ -330,7 +335,7 @@ func (h *Host) resolveAndSend(dst netip.Addr, build func(dstMAC netx.MAC) []byte
 	}
 	h.arpWait[dst] = append(h.arpWait[dst], pendingFrame{build: build})
 	// Give up after 3 s so queues don't leak when the target is absent.
-	h.Sched.After(3*time.Second, func() { delete(h.arpWait, dst) })
+	h.Sched.AfterTagged("stack", 3*time.Second, func() { delete(h.arpWait, dst) })
 }
 
 // --- ICMP ----------------------------------------------------------------

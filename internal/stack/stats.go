@@ -1,0 +1,65 @@
+package stack
+
+import (
+	"iotlan/internal/layers"
+	"iotlan/internal/obs"
+)
+
+// TCP segment kinds for stack_tcp_segments{kind,dir}.
+const (
+	segSyn    = "syn"
+	segSynAck = "synack"
+	segRst    = "rst"
+	segFin    = "fin"
+	segData   = "data"
+	segAck    = "ack"
+)
+
+var segKinds = []string{segSyn, segSynAck, segRst, segFin, segData, segAck}
+
+// tcpStats caches the stack-layer counter handles. All hosts on a network
+// share the same underlying series (the registry dedups by key), so the
+// metrics aggregate across the whole simulated LAN.
+type tcpStats struct {
+	out, in     map[string]*obs.Counter
+	bytesOut    *obs.Counter
+	bytesIn     *obs.Counter
+	handshakes  *obs.Counter
+	retransmits *obs.Counter
+}
+
+func newTCPStats(reg *obs.Registry) *tcpStats {
+	st := &tcpStats{
+		out:        make(map[string]*obs.Counter, len(segKinds)),
+		in:         make(map[string]*obs.Counter, len(segKinds)),
+		bytesOut:   reg.Counter("stack_tcp_bytes", "dir", "out"),
+		bytesIn:    reg.Counter("stack_tcp_bytes", "dir", "in"),
+		handshakes: reg.Counter("stack_tcp_handshakes"),
+		// The simulated LAN never loses segments, so this stays zero — the
+		// series exists to make that modelling assumption visible.
+		retransmits: reg.Counter("stack_tcp_retransmits"),
+	}
+	for _, k := range segKinds {
+		st.out[k] = reg.Counter("stack_tcp_segments", "kind", k, "dir", "out")
+		st.in[k] = reg.Counter("stack_tcp_segments", "kind", k, "dir", "in")
+	}
+	return st
+}
+
+// segKind classifies a segment by flags and payload size.
+func segKind(flags uint8, payloadLen int) string {
+	switch {
+	case flags&layers.TCPRst != 0:
+		return segRst
+	case flags&layers.TCPSyn != 0 && flags&layers.TCPAck != 0:
+		return segSynAck
+	case flags&layers.TCPSyn != 0:
+		return segSyn
+	case flags&layers.TCPFin != 0:
+		return segFin
+	case payloadLen > 0:
+		return segData
+	default:
+		return segAck
+	}
+}

@@ -2,6 +2,7 @@ package stack
 
 import (
 	"net/netip"
+	"strconv"
 	"time"
 
 	"iotlan/internal/layers"
@@ -149,6 +150,15 @@ func (c *TCPConn) Reset() {
 }
 
 func (h *Host) sendTCP(c *TCPConn, flags uint8, payload []byte) {
+	kind := segKind(flags, len(payload))
+	h.tcp.out[kind].Inc()
+	if len(payload) > 0 {
+		h.tcp.bytesOut.Add(uint64(len(payload)))
+	}
+	if kind == segRst && h.Sched.Tracing() {
+		h.Sched.TraceEvent("tcp", "rst",
+			"remote", c.key.remote.String(), "port", strconv.Itoa(int(c.key.remotePort)))
+	}
 	t := &layers.TCP{
 		SrcPort: c.key.localPort, DstPort: c.key.remotePort,
 		Seq: c.seq, Ack: c.ack, Flags: flags,
@@ -175,6 +185,10 @@ func (h *Host) sendTCP(c *TCPConn, flags uint8, payload []byte) {
 }
 
 func (h *Host) handleTCP(p *layers.Packet) {
+	h.tcp.in[segKind(p.TCP.Flags, len(p.AppPayload))].Inc()
+	if len(p.AppPayload) > 0 {
+		h.tcp.bytesIn.Add(uint64(len(p.AppPayload)))
+	}
 	key := connKey{localPort: p.TCP.DstPort, remote: p.SrcIP(), remotePort: p.TCP.SrcPort}
 	if c, ok := h.tcpConns[key]; ok {
 		h.handleTCPConn(c, p)
@@ -229,7 +243,7 @@ func (h *Host) SynProbe(dst netip.Addr, port uint16, cb func(open bool)) {
 	// Reap silent probes so the conn table doesn't grow across a 65535-port
 	// sweep of a filtered host.
 	key := c.key
-	h.Sched.After(3*time.Second, func() {
+	h.Sched.AfterTagged("stack", 3*time.Second, func() {
 		if cur, ok := h.tcpConns[key]; ok && cur == c {
 			delete(h.tcpConns, key)
 		}
@@ -267,6 +281,11 @@ func (h *Host) handleTCPConn(c *TCPConn, p *layers.Packet) {
 		if t.FlagSet(layers.TCPSyn | layers.TCPAck) {
 			c.ack = t.Seq + 1
 			c.state = stateEstablished
+			h.tcp.handshakes.Inc()
+			if h.Sched.Tracing() {
+				h.Sched.TraceEvent("tcp", "handshake",
+					"remote", c.key.remote.String(), "port", strconv.Itoa(int(c.key.remotePort)))
+			}
 			h.sendTCP(c, layers.TCPAck, nil)
 			if c.OnConnect != nil {
 				c.OnConnect(c)

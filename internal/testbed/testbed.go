@@ -13,6 +13,7 @@ import (
 	"iotlan/internal/dhcp"
 	"iotlan/internal/lan"
 	"iotlan/internal/netx"
+	"iotlan/internal/obs"
 	"iotlan/internal/pcap"
 	"iotlan/internal/sim"
 	"iotlan/internal/stack"
@@ -33,8 +34,12 @@ type Lab struct {
 
 	byName map[string]*device.Device
 	// Interactions counts scripted interaction events (§3.1's 7,191).
-	Interactions int
+	Interactions  int
+	cInteractions *obs.Counter
 }
+
+// Telemetry returns the simulation-wide metrics/tracing hub.
+func (l *Lab) Telemetry() *obs.Telemetry { return l.Sched.Telemetry }
 
 // New builds a lab with the full catalog on a deterministic seed.
 func New(seed int64) *Lab {
@@ -55,8 +60,10 @@ func NewWith(seed int64, profiles []*device.Profile) *Lab {
 	lab := &Lab{
 		Sched: sched, Net: network, Capture: capture,
 		Router: router, DHCP: server,
-		byName: make(map[string]*device.Device),
+		byName:        make(map[string]*device.Device),
+		cInteractions: sched.Telemetry.Registry.Counter("testbed_interactions"),
 	}
+	sched.Telemetry.Registry.Gauge("testbed_devices").Set(int64(len(profiles)))
 	for i, p := range profiles {
 		mac := netx.MAC{p.OUI[0], p.OUI[1], p.OUI[2], 0x00, byte(i >> 8), byte(i)}
 		// Devices that ignore scans also run quieter stacks.
@@ -113,9 +120,9 @@ func (l *Lab) wirePeers() {
 func (l *Lab) Start() {
 	for i, d := range l.Devices {
 		d := d
-		l.Sched.After(time.Duration(i)*300*time.Millisecond, d.Start)
+		l.Sched.AfterTagged("testbed", time.Duration(i)*300*time.Millisecond, d.Start)
 	}
-	l.Sched.After(time.Minute, l.schedulePlatformTraffic)
+	l.Sched.AfterTagged("testbed", time.Minute, l.schedulePlatformTraffic)
 }
 
 // schedulePlatformTraffic drives the TLS/RTP cluster traffic: each platform
@@ -141,7 +148,7 @@ func (l *Lab) schedulePlatformTraffic() {
 		coordinator := members[0]
 		peers := members[1:]
 		i := 0
-		l.Sched.Every(30*time.Second, 7*time.Minute, time.Minute, func() {
+		l.Sched.EveryTagged("testbed", 30*time.Second, 7*time.Minute, time.Minute, func() {
 			peer := peers[i%len(peers)]
 			i++
 			if coordinator.IP().IsValid() && peer.IP().IsValid() {
@@ -211,6 +218,7 @@ func (l *Lab) Interact(n int) {
 			}
 		}
 		l.Interactions++
+		l.cInteractions.Inc()
 		l.Sched.RunFor(5 * time.Second)
 	}
 }
@@ -233,9 +241,17 @@ func (l *Lab) AddHost(lastOctet byte, mac netx.MAC) *stack.Host {
 	return h
 }
 
-// Summary prints quick stats for CLI tools.
+// Summary prints quick stats for CLI tools. Counts come from the metrics
+// registry so the line reflects exactly what -metrics would export —
+// including frames the LAN dropped, which Capture.Len() never sees.
 func (l *Lab) Summary() string {
-	return fmt.Sprintf("devices=%d frames=%d interactions=%d virtual=%s",
-		len(l.Devices), l.Capture.Len(), l.Interactions,
+	reg := l.Sched.Telemetry.Registry
+	return fmt.Sprintf("devices=%d frames=%d dropped=%d events=%d pending=%d interactions=%d virtual=%s",
+		len(l.Devices),
+		reg.CounterValue("lan_frames_delivered"),
+		reg.Total("lan_frames_dropped"),
+		reg.Total("sim_events_processed"),
+		l.Sched.Pending(),
+		reg.CounterValue("testbed_interactions"),
 		l.Sched.Now().Sub(sim.Epoch).Truncate(time.Second))
 }

@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -81,6 +82,41 @@ func TestDeterministicCapture(t *testing.T) {
 	a, b := run(), run()
 	if a != b {
 		t.Fatalf("same seed produced different captures: %d vs %d frames", a, b)
+	}
+}
+
+func TestDeterministicMetricsSnapshot(t *testing.T) {
+	run := func() []byte {
+		lab := New(42)
+		lab.Start()
+		lab.RunIdle(10 * time.Minute)
+		return lab.Telemetry().Registry.Snapshot()
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("same seed produced different metrics snapshots:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty metrics snapshot")
+	}
+}
+
+func TestSummaryReflectsRegistry(t *testing.T) {
+	lab := New(1)
+	lab.Start()
+	lab.RunIdle(5 * time.Minute)
+	reg := lab.Telemetry().Registry
+	if reg.CounterValue("lan_frames_delivered") == 0 {
+		t.Fatal("no frames delivered recorded")
+	}
+	if reg.Total("sim_events_processed") == 0 {
+		t.Fatal("no events processed recorded")
+	}
+	s := lab.Summary()
+	for _, want := range []string{"devices=", "frames=", "dropped=", "events=", "pending=", "interactions="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary %q lacks %q", s, want)
+		}
 	}
 }
 

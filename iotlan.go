@@ -17,6 +17,7 @@
 package iotlan
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/netip"
 	"os"
@@ -28,8 +29,10 @@ import (
 	"iotlan/internal/honeypot"
 	"iotlan/internal/inspector"
 	"iotlan/internal/netx"
+	"iotlan/internal/obs"
 	"iotlan/internal/pcap"
 	"iotlan/internal/scan"
+	"iotlan/internal/sim"
 	"iotlan/internal/testbed"
 	"iotlan/internal/vuln"
 )
@@ -62,6 +65,14 @@ type Study struct {
 	AppRun    *app.Runtime
 	Inspector *inspector.Dataset
 
+	// Profiler collects per-phase wall-clock and event-count stats. Wall
+	// times live here, never in the metrics registry, so registry snapshots
+	// stay seed-deterministic.
+	Profiler *obs.Profiler
+	// Trace, when set before the first Run* call, receives the simulation's
+	// virtual-time event trace (attached to the lab scheduler at boot).
+	Trace *obs.Tracer
+
 	passiveDone bool
 	// passiveLen marks the capture boundary after the passive phase, so
 	// passive analyses (Figures 1–4, Tables 1/4, §5.1, App. D.1) are not
@@ -78,7 +89,35 @@ func NewStudy(seed int64) *Study {
 		Interactions: 120,
 		Households:   3860,
 		AppsToRun:    0,
+		Profiler:     obs.NewProfiler(),
 	}
+}
+
+// phase wraps one pipeline stage with wall-clock, event-count, and
+// virtual-time accounting. The event/virtual deltas also land in the
+// registry as study_phase_events{phase=...} — those are virtual-derived and
+// therefore deterministic; wall time goes only to the Profiler.
+func (s *Study) phase(name string, fn func()) {
+	if s.Profiler == nil {
+		s.Profiler = obs.NewProfiler()
+	}
+	var ev0 uint64
+	var v0 time.Duration
+	if s.Lab != nil {
+		ev0 = s.Lab.Sched.Processed
+		v0 = s.Lab.Sched.Now().Sub(sim.Epoch)
+	}
+	start := time.Now()
+	fn()
+	wall := time.Since(start)
+	var ev1 uint64
+	var v1 time.Duration
+	if s.Lab != nil {
+		ev1 = s.Lab.Sched.Processed
+		v1 = s.Lab.Sched.Now().Sub(sim.Epoch)
+		s.Lab.Telemetry().Registry.Counter("study_phase_events", "phase", name).Add(ev1 - ev0)
+	}
+	s.Profiler.Add(name, wall, ev1-ev0, v1-v0)
 }
 
 // RunPassive boots the lab, captures the idle window and the scripted
@@ -87,16 +126,20 @@ func (s *Study) RunPassive() {
 	if s.passiveDone {
 		return
 	}
-	s.Lab = testbed.New(s.Seed)
-	s.Lab.Start()
+	s.phase("passive", func() {
+		s.Lab = testbed.New(s.Seed)
+		// The tracer must be on the scheduler before any event fires.
+		s.Lab.Telemetry().Tracer = s.Trace
+		s.Lab.Start()
 
-	// Honeypot joins the LAN alongside the devices.
-	s.Honeypot = honeypot.New("honey-hue", s.Seed)
-	hpHost := s.Lab.AddHost(230, netx.MAC{0x02, 0x40, 0x00, 0x00, 0x02, 0x30})
-	s.Honeypot.Attach(hpHost)
+		// Honeypot joins the LAN alongside the devices.
+		s.Honeypot = honeypot.New("honey-hue", s.Seed)
+		hpHost := s.Lab.AddHost(230, netx.MAC{0x02, 0x40, 0x00, 0x00, 0x02, 0x30})
+		s.Honeypot.Attach(hpHost)
 
-	s.Lab.RunIdle(s.IdleDuration)
-	s.Lab.Interact(s.Interactions)
+		s.Lab.RunIdle(s.IdleDuration)
+		s.Lab.Interact(s.Interactions)
+	})
 	s.passiveDone = true
 	s.passiveLen = s.Lab.Capture.Len()
 }
@@ -149,21 +192,23 @@ func (s *Study) RunScans() {
 		return
 	}
 	s.RunPassive()
-	scanner := s.Lab.AddHost(250, netx.MAC{0x02, 0x50, 0x00, 0x00, 0x02, 0x50})
-	tcpPorts := fastPortList()
-	if s.FullPortSweep {
-		tcpPorts = scan.AllTCPPorts()
-	}
-	sc := &scan.Scanner{Host: scanner, TCPPorts: tcpPorts, UDPPorts: scan.WellKnownUDPPorts()}
-	s.Scans = make(map[string]*scan.Result, len(s.Lab.Devices))
-	for _, d := range s.Lab.Devices {
-		if !d.IP().IsValid() {
-			continue
+	s.phase("scans", func() {
+		scanner := s.Lab.AddHost(250, netx.MAC{0x02, 0x50, 0x00, 0x00, 0x02, 0x50})
+		tcpPorts := fastPortList()
+		if s.FullPortSweep {
+			tcpPorts = scan.AllTCPPorts()
 		}
-		name := d.Profile.Name
-		sc.Scan(d.IP(), func(r *scan.Result) { s.Scans[name] = r })
-		s.Lab.Sched.RunFor(30 * time.Second)
-	}
+		sc := &scan.Scanner{Host: scanner, TCPPorts: tcpPorts, UDPPorts: scan.WellKnownUDPPorts()}
+		s.Scans = make(map[string]*scan.Result, len(s.Lab.Devices))
+		for _, d := range s.Lab.Devices {
+			if !d.IP().IsValid() {
+				continue
+			}
+			name := d.Profile.Name
+			sc.Scan(d.IP(), func(r *scan.Result) { s.Scans[name] = r })
+			s.Lab.Sched.RunFor(30 * time.Second)
+		}
+	})
 }
 
 // RunVulnScans audits every device with the Nessus-like scanner (§5.2).
@@ -172,18 +217,20 @@ func (s *Study) RunVulnScans() {
 		return
 	}
 	s.RunScans()
-	auditor := s.Lab.AddHost(251, netx.MAC{0x02, 0x51, 0x00, 0x00, 0x02, 0x51})
-	vs := &vuln.Scanner{Host: auditor}
-	s.Findings = make(map[string][]vuln.Finding, len(s.Lab.Devices))
-	for _, d := range s.Lab.Devices {
-		res := s.Scans[d.Profile.Name]
-		if res == nil {
-			continue
+	s.phase("vuln", func() {
+		auditor := s.Lab.AddHost(251, netx.MAC{0x02, 0x51, 0x00, 0x00, 0x02, 0x51})
+		vs := &vuln.Scanner{Host: auditor}
+		s.Findings = make(map[string][]vuln.Finding, len(s.Lab.Devices))
+		for _, d := range s.Lab.Devices {
+			res := s.Scans[d.Profile.Name]
+			if res == nil {
+				continue
+			}
+			name := d.Profile.Name
+			vs.Audit(d.IP(), res.TCPOpen, res.UDPOpen, func(fs []vuln.Finding) { s.Findings[name] = fs })
+			s.Lab.Sched.RunFor(time.Minute)
 		}
-		name := d.Profile.Name
-		vs.Audit(d.IP(), res.TCPOpen, res.UDPOpen, func(fs []vuln.Finding) { s.Findings[name] = fs })
-		s.Lab.Sched.RunFor(time.Minute)
-	}
+	})
 }
 
 // RunApps exercises the app dataset on the instrumented phone (§3.2, §6).
@@ -193,39 +240,43 @@ func (s *Study) RunApps() {
 		return
 	}
 	s.RunPassive()
-	s.Apps = app.Dataset(s.Seed)
-	s.AppRun = app.NewRuntime(s.Lab, app.Android9)
-	// Pairing-stage MACs already live in vendor clouds (§6.1's downlink
-	// observation); seed a handful so downlink dissemination has content.
-	var paired []string
-	for _, d := range s.Lab.Devices[:8] {
-		paired = append(paired, d.MAC().String())
-	}
-	s.AppRun.SeedCloudMACs(paired)
-	run := 0
-	for i := range s.Apps {
-		a := &s.Apps[i]
-		// Inert apps produce no local traffic; skip their sessions to keep
-		// the virtual clock reasonable (the paper ran all 2,335 but only
-		// ~9% touched the LAN, §6.1).
-		active := a.UsesMDNS || a.UsesSSDP || a.UsesNetBIOS || a.UsesTPLink ||
-			a.CollectsRouterSSID || a.CollectsRouterMAC || a.CollectsWifiMAC ||
-			a.ReceivesDownlinkMACs || len(a.SDKs) > 0
-		if !active {
-			continue
+	s.phase("apps", func() {
+		s.Apps = app.Dataset(s.Seed)
+		s.AppRun = app.NewRuntime(s.Lab, app.Android9)
+		// Pairing-stage MACs already live in vendor clouds (§6.1's downlink
+		// observation); seed a handful so downlink dissemination has content.
+		var paired []string
+		for _, d := range s.Lab.Devices[:8] {
+			paired = append(paired, d.MAC().String())
 		}
-		s.AppRun.Run(a)
-		run++
-		if s.AppsToRun > 0 && run >= s.AppsToRun {
-			break
+		s.AppRun.SeedCloudMACs(paired)
+		run := 0
+		for i := range s.Apps {
+			a := &s.Apps[i]
+			// Inert apps produce no local traffic; skip their sessions to keep
+			// the virtual clock reasonable (the paper ran all 2,335 but only
+			// ~9% touched the LAN, §6.1).
+			active := a.UsesMDNS || a.UsesSSDP || a.UsesNetBIOS || a.UsesTPLink ||
+				a.CollectsRouterSSID || a.CollectsRouterMAC || a.CollectsWifiMAC ||
+				a.ReceivesDownlinkMACs || len(a.SDKs) > 0
+			if !active {
+				continue
+			}
+			s.AppRun.Run(a)
+			run++
+			if s.AppsToRun > 0 && run >= s.AppsToRun {
+				break
+			}
 		}
-	}
+	})
 }
 
 // RunInspector generates the crowdsourced dataset (§3.3). Idempotent.
 func (s *Study) RunInspector() {
 	if s.Inspector == nil {
-		s.Inspector = inspector.Generate(s.Seed, s.Households)
+		s.phase("inspector", func() {
+			s.Inspector = inspector.Generate(s.Seed, s.Households)
+		})
 	}
 }
 
@@ -236,6 +287,30 @@ func (s *Study) RunAll() {
 	s.RunVulnScans()
 	s.RunApps()
 	s.RunInspector()
+}
+
+// MetricsReport renders the run's telemetry as one JSON document: the
+// seed-deterministic metrics snapshot under "metrics" and the wall-clock
+// phase profile under "profile". Only the profile varies between same-seed
+// runs.
+func (s *Study) MetricsReport() []byte {
+	metrics := json.RawMessage("{}")
+	if s.Lab != nil {
+		metrics = json.RawMessage(s.Lab.Telemetry().Registry.Snapshot())
+	}
+	profile := json.RawMessage("[]")
+	if s.Profiler != nil {
+		profile = json.RawMessage(s.Profiler.JSON())
+	}
+	doc := struct {
+		Metrics json.RawMessage `json:"metrics"`
+		Profile json.RawMessage `json:"profile"`
+	}{metrics, profile}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil { // unreachable: both members are valid JSON
+		return []byte("{}")
+	}
+	return append(b, '\n')
 }
 
 // LocalRecords returns the capture filtered to local traffic (App. C.1).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"iotlan/internal/analysis"
 	"iotlan/internal/app"
@@ -432,15 +433,25 @@ func (s *Study) Mitigations() Result {
 // appDatasetFor lets Figure2 run without a full app execution.
 func appDatasetFor(s *Study) []app.App { return app.Dataset(s.Seed) }
 
-// Everything runs all experiments and returns them in paper order.
+// Everything runs all experiments and returns them in paper order. Each
+// artifact's analysis time lands in the profiler as "artifact:<ID>" — the
+// pipelines themselves are profiled separately by RunAll's phases.
 func (s *Study) Everything() []Result {
 	s.RunAll()
-	return []Result{
-		s.Table3(), s.Figure1(), s.Figure2(), s.Figure3(), s.Figure4(),
-		s.Table1(), s.OpenPorts(), s.Intervals(), s.Periodicity(),
-		s.VulnSummary(), s.Table4(), s.Table5(),
-		s.Exfiltration(), s.Table2(), s.Mitigations(), s.HoneypotReport(),
+	artifacts := []func() Result{
+		s.Table3, s.Figure1, s.Figure2, s.Figure3, s.Figure4,
+		s.Table1, s.OpenPorts, s.Intervals, s.Periodicity,
+		s.VulnSummary, s.Table4, s.Table5,
+		s.Exfiltration, s.Table2, s.Mitigations, s.HoneypotReport,
 	}
+	out := make([]Result, 0, len(artifacts))
+	for _, fn := range artifacts {
+		start := time.Now()
+		r := fn()
+		s.Profiler.Add("artifact:"+r.ID, time.Since(start), 0, 0)
+		out = append(out, r)
+	}
+	return out
 }
 
 // sampleSSDPAd is exported for examples needing a canned advertisement.
