@@ -2,9 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench microbench repro examples clean
+.PHONY: all build vet test race verify bench bench2 microbench repro examples clean
 
 all: build vet test
+
+# CI gate: vet, build, and the full test suite under the race detector.
+# The analysis engine's byte-identical-output contract is exercised here
+# (determinism_test.go runs parallel vs sequential under -race).
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race -timeout 45m ./...
 
 build:
 	$(GO) build ./...
@@ -24,6 +32,12 @@ race:
 # recorded as BENCH_1.json (wall time, events/sec, frames/sec).
 bench:
 	$(GO) run ./cmd/iotbench -seed 1 -idle 45m -out BENCH_1.json
+
+# Analysis-engine benchmark: Inspector generation + decode-once index +
+# artifact fan-out, sequential vs one-worker-per-CPU, with a checksum
+# asserting identical output. Records BENCH_2.json.
+bench2:
+	$(GO) run ./cmd/iotbench -artifacts -seed 1 -idle 45m -out BENCH_2.json
 
 # go-test micro benchmarks (per-layer throughput, allocation counts).
 microbench:

@@ -4,8 +4,14 @@
 // Usage:
 //
 //	iotrepro [-seed N] [-idle 45m] [-interactions 120] [-households 3860]
-//	         [-apps 0] [-only "Figure 1"] [-pcap-dir DIR]
+//	         [-apps 0] [-workers 0] [-artifact NAME] [-list] [-pcap-dir DIR]
 //	         [-metrics FILE] [-trace FILE] [-http ADDR]
+//
+// -list prints the artifact registry (name, kind, paper reference, needed
+// pipelines) and exits. -artifact runs a single registered artifact by name
+// or alias ("figure1", "tab2", "ports", …), executing only the pipelines it
+// needs; -only is a deprecated alias. -workers bounds analysis concurrency
+// (0 = one worker per CPU) — worker count never changes output bytes.
 //
 // -metrics writes the telemetry report (deterministic metrics snapshot +
 // wall-clock phase profile) as JSON. -trace streams the virtual-time event
@@ -36,7 +42,10 @@ func main() {
 	interactions := flag.Int("interactions", 120, "scripted interactions (paper: 7,191)")
 	households := flag.Int("households", 3860, "crowdsourced households (paper: 3,860)")
 	apps := flag.Int("apps", 0, "max apps to execute (0 = all with local behaviour)")
-	only := flag.String("only", "", "run a single artifact (e.g. \"Figure 1\", \"Table 2\")")
+	workers := flag.Int("workers", 0, "analysis worker count (0 = one per CPU; never changes output)")
+	artifact := flag.String("artifact", "", "run a single registered artifact by name (see -list)")
+	list := flag.Bool("list", false, "print the artifact registry and exit")
+	only := flag.String("only", "", "deprecated alias for -artifact")
 	pcapDir := flag.String("pcap-dir", "", "also dump per-device pcaps into this directory")
 	exportDir := flag.String("export", "", "also export datasets (scans, findings, exfiltration, …) as JSON into this directory")
 	metricsFile := flag.String("metrics", "", "write the telemetry report (metrics + phase profile) as JSON to this file (\"-\" for stdout)")
@@ -44,11 +53,24 @@ func main() {
 	httpAddr := flag.String("http", "", "serve expvar and pprof on this address (e.g. localhost:6060) while the run executes")
 	flag.Parse()
 
-	s := iotlan.NewStudy(*seed)
-	s.IdleDuration = *idle
-	s.Interactions = *interactions
-	s.Households = *households
-	s.AppsToRun = *apps
+	if *list {
+		fmt.Printf("%-14s %-9s %-14s %s\n", "NAME", "KIND", "PAPER", "NEEDS")
+		for _, a := range iotlan.Artifacts() {
+			fmt.Printf("%-14s %-9s %-14s %s\n", a.Name, a.Kind, a.PaperRef, a.Needs)
+		}
+		return
+	}
+	if *artifact == "" {
+		*artifact = *only
+	}
+
+	s := iotlan.New(*seed,
+		iotlan.WithIdleDuration(*idle),
+		iotlan.WithInteractions(*interactions),
+		iotlan.WithHouseholds(*households),
+		iotlan.WithApps(*apps),
+		iotlan.WithWorkers(*workers),
+	)
 
 	var traceOut *os.File
 	if *traceFile != "" {
@@ -83,8 +105,8 @@ func main() {
 
 	start := time.Now()
 	var results []iotlan.Result
-	if *only != "" {
-		r, err := runOne(s, *only)
+	if *artifact != "" {
+		r, err := s.RunArtifact(*artifact)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -149,42 +171,4 @@ func main() {
 		fmt.Printf("lab: %s\n", s.Lab.Summary())
 	}
 	fmt.Printf("wall time: %s\n", time.Since(start).Truncate(time.Millisecond))
-}
-
-func runOne(s *iotlan.Study, id string) (iotlan.Result, error) {
-	switch strings.ToLower(id) {
-	case "figure 1", "fig1":
-		return s.Figure1(), nil
-	case "figure 2", "fig2":
-		return s.Figure2(), nil
-	case "figure 3", "fig3":
-		return s.Figure3(), nil
-	case "figure 4", "fig4":
-		return s.Figure4(), nil
-	case "table 1", "tab1":
-		return s.Table1(), nil
-	case "table 2", "tab2":
-		return s.Table2(), nil
-	case "table 3", "tab3":
-		return s.Table3(), nil
-	case "table 4", "tab4":
-		return s.Table4(), nil
-	case "table 5", "tab5":
-		return s.Table5(), nil
-	case "ports":
-		return s.OpenPorts(), nil
-	case "intervals":
-		return s.Intervals(), nil
-	case "periodicity":
-		return s.Periodicity(), nil
-	case "vulns":
-		return s.VulnSummary(), nil
-	case "exfil":
-		return s.Exfiltration(), nil
-	case "honeypot":
-		return s.HoneypotReport(), nil
-	case "mitigations":
-		return s.Mitigations(), nil
-	}
-	return iotlan.Result{}, fmt.Errorf("unknown artifact %q", id)
 }

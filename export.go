@@ -1,6 +1,7 @@
 package iotlan
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -12,17 +13,34 @@ import (
 // artifact release: active-scan results, vulnerability findings, app
 // exfiltration records, the instrumented API-access log, the crowdsourced
 // corpus, honeypot events, and every experiment's headline metrics.
-// Pipelines that have not run are skipped.
+// Pipelines that have not run are skipped. Equivalent to ExportContext with
+// a background context.
 func (s *Study) Export(dir string) error {
+	return s.ExportContext(context.Background(), dir)
+}
+
+// ExportContext is Export with cancellation: ctx is checked between files
+// and between artifact computations; a cancelled context stops the export
+// and returns an error naming the step that did not run. Which artifacts
+// contribute metrics is driven by the registry — an artifact is included
+// exactly when every pipeline in its Needs mask has already run, so Export
+// never triggers a pipeline itself.
+func (s *Study) ExportContext(ctx context.Context, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+		return fmt.Errorf("iotlan: export: %w", err)
 	}
 	write := func(name string, v interface{}) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("iotlan: export %s: %w", name, err)
+		}
 		data, err := json.MarshalIndent(v, "", "  ")
 		if err != nil {
-			return fmt.Errorf("export %s: %w", name, err)
+			return fmt.Errorf("iotlan: export %s: %w", name, err)
 		}
-		return os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644)
+		if err := os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("iotlan: export %s: %w", name, err)
+		}
+		return nil
 	}
 
 	if s.Lab != nil {
@@ -68,21 +86,18 @@ func (s *Study) Export(dir string) error {
 			return err
 		}
 	}
-	// Headline metrics from whatever has been computed, in stable order.
+	// Headline metrics from every registered artifact whose pipelines have
+	// already run, in registry (paper) order.
 	metrics := map[string]map[string]float64{}
-	if s.passiveDone {
-		for _, r := range []Result{
-			s.Table3(), s.Figure1(), s.Figure2(), s.Figure3(),
-			s.Table1(), s.Intervals(), s.Periodicity(),
-		} {
-			metrics[r.ID] = r.Metrics
+	for _, a := range Artifacts() {
+		if !s.ran(a.Needs) {
+			continue
 		}
-	}
-	if s.Inspector != nil {
-		t2 := s.Table2()
-		metrics[t2.ID] = t2.Metrics
-		m := s.Mitigations()
-		metrics[m.ID] = m.Metrics
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("iotlan: export artifact %s: %w", a.Name, err)
+		}
+		r := a.Fn(s)
+		metrics[r.ID] = r.Metrics
 	}
 	keys := make([]string, 0, len(metrics))
 	for k := range metrics {

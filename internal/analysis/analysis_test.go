@@ -188,6 +188,17 @@ func TestEntropyTable(t *testing.T) {
 	}
 }
 
+func TestEntropyTableCachedIdentifiersEquivalent(t *testing.T) {
+	ds := inspector.Generate(3, 500)
+	inline := EntropyTable(ds)
+	for _, workers := range []int{1, 8} {
+		cached := EntropyTableWith(ds, ExtractIdentifiers(ds, workers))
+		if RenderEntropyTable(inline) != RenderEntropyTable(cached) {
+			t.Fatalf("workers=%d: cached extraction changed Table 2", workers)
+		}
+	}
+}
+
 func TestPossessiveNameRegex(t *testing.T) {
 	got := findPossessives("Roku 3 - Jane's Room and Bob's Kitchen")
 	if len(got) != 2 || got[0] != "Jane's Room" || got[1] != "Bob's Kitchen" {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"iotlan/internal/engine"
 	"iotlan/internal/inspector"
 )
 
@@ -50,6 +51,49 @@ func (r EntropyRow) Key() string {
 		parts[i] = t.String()
 	}
 	return strings.Join(parts, ", ")
+}
+
+// identifierSet is one device's extracted identifiers by class.
+type identifierSet = map[IdentifierType][]string
+
+// ExtractedIdentifiers is the fingerprint analogue of the decode-once
+// packet index: per-device identifier extractions (§6.3's regex passes, the
+// hot loop of Table 2 and the §7 sweep) computed a single time — optionally
+// sharded across workers — and shared read-only by every consumer.
+type ExtractedIdentifiers struct {
+	byDevice map[*inspector.Device]identifierSet
+}
+
+// ExtractIdentifiers runs the extraction over the whole corpus, sharding
+// households across workers (values < 1 mean one per CPU). Extraction is a
+// pure per-device function, so any worker count yields identical results.
+func ExtractIdentifiers(ds *inspector.Dataset, workers int) *ExtractedIdentifiers {
+	perHousehold := engine.Map(workers, len(ds.Households), func(i int) []identifierSet {
+		hh := ds.Households[i]
+		out := make([]identifierSet, len(hh.Devices))
+		for j, d := range hh.Devices {
+			out[j] = extractIdentifiers(d)
+		}
+		return out
+	})
+	byDevice := make(map[*inspector.Device]identifierSet, len(ds.Households)*3)
+	for i, hh := range ds.Households {
+		for j, d := range hh.Devices {
+			byDevice[d] = perHousehold[i][j]
+		}
+	}
+	return &ExtractedIdentifiers{byDevice: byDevice}
+}
+
+// Of returns a device's identifiers. A nil receiver (or an unknown device)
+// falls back to direct extraction, so call sites need no nil checks.
+func (e *ExtractedIdentifiers) Of(d *inspector.Device) identifierSet {
+	if e != nil {
+		if ids, ok := e.byDevice[d]; ok {
+			return ids
+		}
+	}
+	return extractIdentifiers(d)
 }
 
 // extractIdentifiers pulls names, UUIDs and OUI-validated MACs from a
@@ -101,8 +145,15 @@ func findPossessives(s string) []string {
 
 func isLetter(b byte) bool { return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' }
 
-// EntropyTable computes Table 2 over a crowdsourced dataset.
+// EntropyTable computes Table 2 over a crowdsourced dataset, extracting
+// identifiers inline. Equivalent to EntropyTableWith(ds, nil).
 func EntropyTable(ds *inspector.Dataset) []EntropyRow {
+	return EntropyTableWith(ds, nil)
+}
+
+// EntropyTableWith computes Table 2 reusing a precomputed identifier
+// extraction (nil extracts inline).
+func EntropyTableWith(ds *inspector.Dataset, ids *ExtractedIdentifiers) []EntropyRow {
 	type comboKey string
 	// Per combination: product/vendor/device sets and the per-household
 	// joined identifier value.
@@ -129,13 +180,13 @@ func EntropyTable(ds *inspector.Dataset) []EntropyRow {
 
 	for _, h := range ds.Households {
 		for _, d := range h.Devices {
-			ids := extractIdentifiers(d)
+			devIDs := ids.Of(d)
 			var types []IdentifierType
 			var values []string
 			for _, t := range []IdentifierType{IDName, IDUUID, IDMAC} {
-				if len(ids[t]) > 0 {
+				if len(devIDs[t]) > 0 {
 					types = append(types, t)
-					values = append(values, ids[t]...)
+					values = append(values, devIDs[t]...)
 				}
 			}
 			a := get(types)
@@ -160,7 +211,7 @@ func EntropyTable(ds *inspector.Dataset) []EntropyRow {
 	for _, h := range ds.Households {
 		perType := map[IdentifierType][]string{}
 		for _, d := range h.Devices {
-			for t, vals := range extractIdentifiers(d) {
+			for t, vals := range ids.Of(d) {
 				perType[t] = append(perType[t], vals...)
 			}
 		}
@@ -215,13 +266,21 @@ func EntropyTable(ds *inspector.Dataset) []EntropyRow {
 }
 
 // shannon computes H = Σ p·log2(1/p) over the fingerprint distribution.
+// Terms are summed in sorted key order: floating-point addition is not
+// associative, so map-order summation would make the last ULP vary between
+// runs — breaking the engine's byte-identical-output contract.
 func shannon(counts map[string]int, total int) float64 {
 	if total == 0 {
 		return 0
 	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	h := 0.0
-	for _, n := range counts {
-		p := float64(n) / float64(total)
+	for _, k := range keys {
+		p := float64(counts[k]) / float64(total)
 		h -= p * math.Log2(p)
 	}
 	return h

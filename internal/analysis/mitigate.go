@@ -31,11 +31,12 @@ const MitigateAll = MitigateStripNames | MitigateRandomizeUUIDs | MitigateRedact
 
 // fingerprint builds a household's identifier fingerprint for one session.
 // Mitigations transform identifiers the way a compliant device firmware
-// would; session distinguishes per-session randomised values.
-func fingerprint(h *inspector.Household, m Mitigation, session int) string {
+// would; session distinguishes per-session randomised values. cache may be
+// nil (identifiers are then extracted inline).
+func fingerprint(h *inspector.Household, cache *ExtractedIdentifiers, m Mitigation, session int) string {
 	var parts []string
 	for _, d := range h.Devices {
-		ids := extractIdentifiers(d)
+		ids := cache.Of(d)
 		if m&MitigateStripNames == 0 {
 			parts = append(parts, ids[IDName]...)
 		}
@@ -76,12 +77,18 @@ type ReidentificationResult struct {
 // EvaluateMitigation simulates two observation sessions of the same
 // households and measures cross-session linkability. An unmitigated corpus
 // re-identifies ~everything; per-session UUID randomisation plus MAC/name
-// minimisation collapses it.
+// minimisation collapses it. Equivalent to EvaluateMitigationWith(ds, nil, m).
 func EvaluateMitigation(ds *inspector.Dataset, m Mitigation) ReidentificationResult {
+	return EvaluateMitigationWith(ds, nil, m)
+}
+
+// EvaluateMitigationWith evaluates one mitigation regime reusing a
+// precomputed identifier extraction (nil extracts inline).
+func EvaluateMitigationWith(ds *inspector.Dataset, ids *ExtractedIdentifiers, m Mitigation) ReidentificationResult {
 	session1 := map[string]string{} // fingerprint → household (unique only)
 	dup1 := map[string]bool{}
 	for _, h := range ds.Households {
-		fp := fingerprint(h, m, 1)
+		fp := fingerprint(h, ids, m, 1)
 		if fp == "" {
 			continue
 		}
@@ -93,7 +100,7 @@ func EvaluateMitigation(ds *inspector.Dataset, m Mitigation) ReidentificationRes
 	res := ReidentificationResult{Mitigation: m}
 	counts := map[string]int{}
 	for _, h := range ds.Households {
-		fp2 := fingerprint(h, m, 2)
+		fp2 := fingerprint(h, ids, m, 2)
 		if fp2 == "" {
 			continue
 		}
@@ -129,7 +136,14 @@ func MitigationName(m Mitigation) string {
 }
 
 // MitigationTable sweeps the countermeasure lattice, the §7 what-if study.
+// Equivalent to MitigationTableWith(ds, nil).
 func MitigationTable(ds *inspector.Dataset) []ReidentificationResult {
+	return MitigationTableWith(ds, nil)
+}
+
+// MitigationTableWith sweeps the lattice reusing a precomputed identifier
+// extraction — one extraction pass instead of one per (regime, session).
+func MitigationTableWith(ds *inspector.Dataset, ids *ExtractedIdentifiers) []ReidentificationResult {
 	var out []ReidentificationResult
 	for _, m := range []Mitigation{
 		0,
@@ -139,7 +153,7 @@ func MitigationTable(ds *inspector.Dataset) []ReidentificationResult {
 		MitigateRandomizeUUIDs | MitigateRedactMACs,
 		MitigateAll,
 	} {
-		out = append(out, EvaluateMitigation(ds, m))
+		out = append(out, EvaluateMitigationWith(ds, ids, m))
 	}
 	return out
 }

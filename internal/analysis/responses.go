@@ -166,7 +166,14 @@ func ResponseTable(records []pcap.Record, devices []*device.Device) []ResponseRo
 			AvgResponders:   float64(a.responders) / float64(a.devices),
 		})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].AvgResponders > rows[j].AvgResponders })
+	// Category breaks AvgResponders ties: rows come out of a map, so without
+	// a total order the rendition would vary run to run.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].AvgResponders != rows[j].AvgResponders {
+			return rows[i].AvgResponders > rows[j].AvgResponders
+		}
+		return rows[i].Category < rows[j].Category
+	})
 	return rows
 }
 

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestShardsCoverExactly(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {7, 3}, {100, 8}, {8, 8}, {5, 100}, {3860, 16},
+	} {
+		shards := Shards(tc.n, tc.workers)
+		covered := 0
+		prevEnd := 0
+		for _, r := range shards {
+			if r.Start != prevEnd {
+				t.Fatalf("n=%d w=%d: gap at %d (shards %v)", tc.n, tc.workers, r.Start, shards)
+			}
+			if r.Len() <= 0 {
+				t.Fatalf("n=%d w=%d: empty shard %v", tc.n, tc.workers, r)
+			}
+			covered += r.Len()
+			prevEnd = r.End
+		}
+		if covered != tc.n {
+			t.Fatalf("n=%d w=%d: covered %d", tc.n, tc.workers, covered)
+		}
+		if len(shards) > tc.workers && tc.workers > 0 {
+			t.Fatalf("n=%d w=%d: %d shards", tc.n, tc.workers, len(shards))
+		}
+	}
+}
+
+func TestShardsBalanced(t *testing.T) {
+	shards := Shards(10, 4)
+	if len(shards) != 4 {
+		t.Fatalf("shards: %v", shards)
+	}
+	for _, r := range shards {
+		if r.Len() < 2 || r.Len() > 3 {
+			t.Fatalf("unbalanced shard %v in %v", r, shards)
+		}
+	}
+}
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	fn := func(i int) int { return i * i }
+	want := Map(1, 100, fn)
+	for _, w := range []int{2, 3, 8, 64} {
+		got := Map(w, 100, fn)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d]=%d want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if out := Map(4, 0, func(i int) int { return i }); out != nil {
+		t.Fatalf("empty map: %v", out)
+	}
+}
+
+func TestForEachShardWritesDisjoint(t *testing.T) {
+	const n = 1000
+	out := make([]int, n)
+	ForEachShard(n, 8, func(shard int, r Range) {
+		for i := r.Start; i < r.End; i++ {
+			out[i] = i + 1
+		}
+	})
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("index %d not written (got %d)", i, v)
+		}
+	}
+}
+
+func TestSubSeedDeterministicAndSpread(t *testing.T) {
+	if SubSeed(1, 0) != SubSeed(1, 0) {
+		t.Fatal("SubSeed not deterministic")
+	}
+	seen := map[int64]bool{}
+	for s := uint64(0); s < 1000; s++ {
+		seen[SubSeed(42, s)] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("sub-seed collisions: %d unique of 1000", len(seen))
+	}
+	if SubSeed(1, 5) == SubSeed(2, 5) {
+		t.Fatal("different base seeds collide")
+	}
+}
+
+func TestWorkersFloor(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers must be ≥1")
+	}
+	if Workers(7) != 7 {
+		t.Fatal("explicit worker count not respected")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"iotlan/internal/engine"
 	"iotlan/internal/netx"
 )
 
@@ -128,14 +129,37 @@ var firstNames = []string{"Jane", "John", "Maria", "Wei", "Aisha", "Carlos", "Em
 
 // Generate builds the corpus: households ×devices with payloads. The
 // defaults reproduce the paper's population (3,893 households, 13,487
-// devices, ~199 vendors / 323 products).
+// devices, ~199 vendors / 323 products). Equivalent to GenerateParallel
+// with one worker.
 func Generate(seed int64, households int) *Dataset {
-	rng := rand.New(rand.NewSource(seed))
-	products := catalog(rng)
+	return GenerateParallel(seed, households, 1)
+}
+
+// GenerateParallel shards corpus generation across workers (values < 1 mean
+// one per CPU). Every household draws from its own rng seeded by
+// engine.SubSeed(seed, household), so generation is order-independent: any
+// worker count — including the sequential path — produces a byte-identical
+// dataset for a fixed seed.
+func GenerateParallel(seed int64, households, workers int) *Dataset {
+	// The product world is shared ground truth, derived from the base seed
+	// before any household is drawn.
+	products := catalog(rand.New(rand.NewSource(seed)))
 	totalPop := 0
 	for _, p := range products {
 		totalPop += p.Popularity
 	}
+	ds := &Dataset{Households: make([]*Household, households)}
+	engine.ForEachShard(households, workers, func(_ int, r engine.Range) {
+		for h := r.Start; h < r.End; h++ {
+			rng := rand.New(rand.NewSource(engine.SubSeed(seed, uint64(h))))
+			ds.Households[h] = generateHousehold(rng, h, products, totalPop)
+		}
+	})
+	return ds
+}
+
+// generateHousehold draws one household's devices from its private rng.
+func generateHousehold(rng *rand.Rand, h int, products []Product, totalPop int) *Household {
 	pickProduct := func() Product {
 		r := rng.Intn(totalPop)
 		for _, p := range products {
@@ -146,60 +170,55 @@ func Generate(seed int64, households int) *Dataset {
 		}
 		return products[len(products)-1]
 	}
-
-	ds := &Dataset{}
 	start := time.Date(2019, 4, 12, 0, 0, 0, 0, time.UTC)
-	for h := 0; h < households; h++ {
-		salt := make([]byte, 16)
-		rng.Read(salt)
-		hh := &Household{ID: fmt.Sprintf("user%05d", h)}
-		owner := firstNames[rng.Intn(len(firstNames))]
-		// Median 3 devices per household (§6.3): geometric-ish 1..12.
-		n := 1 + rng.Intn(3) + rng.Intn(3)
-		for d := 0; d < n; d++ {
-			p := pickProduct()
-			var mac netx.MAC
-			rng.Read(mac[:])
-			mac[0] &^= 0x01 // unicast
-			dev := &Device{
-				OUI:     mac.OUI(),
-				Product: p,
-				mac:     mac,
-			}
-			m := hmac.New(sha256.New, salt)
-			m.Write(mac[:])
-			dev.ID = fmt.Sprintf("%x", m.Sum(nil))[:32]
-			dev.DHCPHostname = fmt.Sprintf("%s-%s", p.Vendor, mac.Tail(2))
-			dev.UserLabel = userLabel(rng, p)
-			uuid := deriveUUID(hh.ID, d, mac)
-			// ~5% of devices ship a vendor-default UUID shared by the whole
-			// product line (buggy firmware does this in the wild) — the
-			// reason Table 2's uniqueness tops out around 94–96%, not 100%.
-			if rng.Intn(20) == 0 {
-				sum := sha256.Sum256([]byte("default:" + p.Name()))
-				uuid = fmt.Sprintf("%x-%x-%x-%x-%x", sum[0:4], sum[4:6], sum[6:8], sum[8:10], sum[10:16])
-			}
-			if p.ExposesMAC && rng.Intn(25) == 0 {
-				// A shared dummy adapter address, same idea.
-				mac = netx.MAC{p.Vendor[0], p.Vendor[1], p.Vendor[2], 0xde, 0xad, 0x01}
-				dev.OUI = mac.OUI()
-			}
-			renderPayloads(dev, p, owner, uuid, mac)
-			// A few hours of 5-second windows, sparse.
-			t := start.Add(time.Duration(rng.Intn(1000)) * time.Hour)
-			for w := 0; w < 20+rng.Intn(60); w++ {
-				dev.Windows = append(dev.Windows, TrafficWindow{
-					Start:     t.Add(time.Duration(w) * 5 * time.Second),
-					BytesIn:   rng.Intn(4000),
-					BytesOut:  rng.Intn(2000),
-					PeerLocal: rng.Intn(3) == 0,
-				})
-			}
-			hh.Devices = append(hh.Devices, dev)
+	salt := make([]byte, 16)
+	rng.Read(salt)
+	hh := &Household{ID: fmt.Sprintf("user%05d", h)}
+	owner := firstNames[rng.Intn(len(firstNames))]
+	// Median 3 devices per household (§6.3): geometric-ish 1..12.
+	n := 1 + rng.Intn(3) + rng.Intn(3)
+	for d := 0; d < n; d++ {
+		p := pickProduct()
+		var mac netx.MAC
+		rng.Read(mac[:])
+		mac[0] &^= 0x01 // unicast
+		dev := &Device{
+			OUI:     mac.OUI(),
+			Product: p,
+			mac:     mac,
 		}
-		ds.Households = append(ds.Households, hh)
+		m := hmac.New(sha256.New, salt)
+		m.Write(mac[:])
+		dev.ID = fmt.Sprintf("%x", m.Sum(nil))[:32]
+		dev.DHCPHostname = fmt.Sprintf("%s-%s", p.Vendor, mac.Tail(2))
+		dev.UserLabel = userLabel(rng, p)
+		uuid := deriveUUID(hh.ID, d, mac)
+		// ~5% of devices ship a vendor-default UUID shared by the whole
+		// product line (buggy firmware does this in the wild) — the
+		// reason Table 2's uniqueness tops out around 94–96%, not 100%.
+		if rng.Intn(20) == 0 {
+			sum := sha256.Sum256([]byte("default:" + p.Name()))
+			uuid = fmt.Sprintf("%x-%x-%x-%x-%x", sum[0:4], sum[4:6], sum[6:8], sum[8:10], sum[10:16])
+		}
+		if p.ExposesMAC && rng.Intn(25) == 0 {
+			// A shared dummy adapter address, same idea.
+			mac = netx.MAC{p.Vendor[0], p.Vendor[1], p.Vendor[2], 0xde, 0xad, 0x01}
+			dev.OUI = mac.OUI()
+		}
+		renderPayloads(dev, p, owner, uuid, mac)
+		// A few hours of 5-second windows, sparse.
+		t := start.Add(time.Duration(rng.Intn(1000)) * time.Hour)
+		for w := 0; w < 20+rng.Intn(60); w++ {
+			dev.Windows = append(dev.Windows, TrafficWindow{
+				Start:     t.Add(time.Duration(w) * 5 * time.Second),
+				BytesIn:   rng.Intn(4000),
+				BytesOut:  rng.Intn(2000),
+				PeerLocal: rng.Intn(3) == 0,
+			})
+		}
+		hh.Devices = append(hh.Devices, dev)
 	}
-	return ds
+	return hh
 }
 
 // deriveUUID builds a stable per-device UUID; for MAC-exposing products the

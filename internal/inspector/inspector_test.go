@@ -1,6 +1,7 @@
 package inspector
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -40,6 +41,24 @@ func TestDeterministicGeneration(t *testing.T) {
 		for j, d := range h.Devices {
 			if d.ID != b.Households[i].Devices[j].ID {
 				t.Fatalf("device IDs diverge at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateParallelByteIdenticalToSequential(t *testing.T) {
+	for _, seed := range []int64{1, 42, 1337} {
+		seq, err := json.Marshal(GenerateParallel(seed, 300, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 16} {
+			par, err := json.Marshal(GenerateParallel(seed, 300, workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(seq) != string(par) {
+				t.Fatalf("seed %d: %d-worker dataset differs from sequential", seed, workers)
 			}
 		}
 	}

@@ -144,7 +144,7 @@ func TestGarbageFrameDropped(t *testing.T) {
 
 func TestDropAccounting(t *testing.T) {
 	s, n, a, _, _ := setup()
-	n.Send([]byte{1, 2, 3})                                // undecodable
+	n.Send([]byte{1, 2, 3})                                   // undecodable
 	n.Send(frame(t, a.mac, netx.MAC{0xde, 0xad, 0, 0, 0, 1})) // unknown unicast
 	n.Send(frame(t, a.mac, netx.MAC{0xde, 0xad, 0, 0, 0, 2})) // unknown unicast
 	s.RunFor(time.Second)

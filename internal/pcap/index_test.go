@@ -1,0 +1,110 @@
+package pcap
+
+import (
+	"testing"
+	"time"
+
+	"iotlan/internal/layers"
+	"iotlan/internal/netx"
+)
+
+// testFrame builds a minimal broadcast Ethernet frame from src: an ARP
+// request, or an unknown-EtherType frame (L3Name "UNKNOWN-L2").
+func testFrame(t *testing.T, src netx.MAC, arp bool) []byte {
+	t.Helper()
+	eth := layers.Ethernet{Src: src, Dst: netx.Broadcast, EtherType: 0x88b5}
+	var payload layers.Serializable = layers.RawPayload("xx")
+	if arp {
+		eth.EtherType = layers.EtherTypeARP
+		payload = &layers.ARP{Op: layers.ARPRequest, SenderHW: src}
+	}
+	b, err := layers.Serialize(&eth, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func testRecords(t *testing.T) []Record {
+	t.Helper()
+	macA := netx.MAC{0x02, 0, 0, 0, 0, 0x0a}
+	macB := netx.MAC{0x02, 0, 0, 0, 0, 0x0b}
+	base := time.Unix(1000, 0).UTC()
+	var recs []Record
+	for i := 0; i < 20; i++ {
+		src := macA
+		if i%3 == 0 {
+			src = macB
+		}
+		recs = append(recs, Record{Time: base.Add(time.Duration(i) * time.Second), Data: testFrame(t, src, i%2 == 0)})
+	}
+	return recs
+}
+
+func TestIndexDecodeOnce(t *testing.T) {
+	recs := testRecords(t)
+	ix := NewIndex(recs, 4)
+	if ix.Len() != len(recs) {
+		t.Fatalf("index len %d", ix.Len())
+	}
+	for i, r := range ix.Records {
+		// Cached: Decode must return the exact packet stored at index i.
+		if r.Decode() != ix.Packets()[i] {
+			t.Fatalf("record %d not cache-backed", i)
+		}
+		// A copy of the record keeps the cache.
+		cp := r
+		if cp.Decode() != ix.Packets()[i] {
+			t.Fatalf("record %d copy lost the cache", i)
+		}
+	}
+	// The original (un-indexed) records still decode fresh each call.
+	if recs[0].Decode() == recs[0].Decode() {
+		t.Fatal("un-indexed record unexpectedly cached")
+	}
+}
+
+func TestIndexViewsDeterministicAcrossWorkers(t *testing.T) {
+	recs := testRecords(t)
+	a := NewIndex(recs, 1)
+	b := NewIndex(recs, 8)
+	if len(a.Local()) != len(b.Local()) {
+		t.Fatalf("local views differ: %d vs %d", len(a.Local()), len(b.Local()))
+	}
+	for _, proto := range a.Protocols() {
+		ra, rb := a.ByProto(proto), b.ByProto(proto)
+		if len(ra) != len(rb) {
+			t.Fatalf("%s view differs: %d vs %d", proto, len(ra), len(rb))
+		}
+		for i := range ra {
+			if !ra[i].Time.Equal(rb[i].Time) {
+				t.Fatalf("%s view order differs at %d", proto, i)
+			}
+		}
+	}
+	macB := netx.MAC{0x02, 0, 0, 0, 0, 0x0b}
+	if len(a.ByMAC(macB)) == 0 || len(a.ByMAC(macB)) != len(b.ByMAC(macB)) {
+		t.Fatalf("per-MAC views differ: %d vs %d", len(a.ByMAC(macB)), len(b.ByMAC(macB)))
+	}
+}
+
+func TestIndexProtocolViews(t *testing.T) {
+	recs := testRecords(t)
+	ix := NewIndex(recs, 2)
+	arp := ix.ByProto("ARP")
+	if len(arp) != 10 {
+		t.Fatalf("ARP view: %d records, want 10", len(arp))
+	}
+	for _, r := range arp {
+		if !r.Decode().HasARP {
+			t.Fatal("non-ARP record in ARP view")
+		}
+	}
+	total := 0
+	for _, proto := range ix.Protocols() {
+		total += len(ix.ByProto(proto))
+	}
+	if total != ix.Len() {
+		t.Fatalf("protocol views cover %d of %d records", total, ix.Len())
+	}
+}

@@ -20,11 +20,22 @@ import (
 type Record struct {
 	Time time.Time
 	Data []byte
+
+	// pkt is the decode-once cache attached by Index. It rides along on
+	// copies of the Record value, so slices derived from an indexed capture
+	// keep the cache.
+	pkt *layers.Packet
 }
 
-// Decode parses the record's frame. The result is cached per call site, not
-// here, to keep Record a plain value.
-func (r Record) Decode() *layers.Packet { return layers.Decode(r.Data) }
+// Decode parses the record's frame. Records that came from an Index return
+// the shared pre-parsed layers; the returned packet must be treated as
+// read-only. Un-indexed records decode on every call.
+func (r Record) Decode() *layers.Packet {
+	if r.pkt != nil {
+		return r.pkt
+	}
+	return layers.Decode(r.Data)
+}
 
 const (
 	magicMicros = 0xa1b2c3d4

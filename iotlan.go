@@ -17,13 +17,16 @@
 package iotlan
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/netip"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
+	"iotlan/internal/analysis"
 	"iotlan/internal/app"
 	"iotlan/internal/device"
 	"iotlan/internal/honeypot"
@@ -38,7 +41,7 @@ import (
 )
 
 // Study orchestrates a full reproduction run. Zero value is not usable; use
-// NewStudy.
+// New (or the deprecated NewStudy).
 type Study struct {
 	// Seed drives every random decision; equal seeds give byte-identical
 	// captures.
@@ -56,6 +59,10 @@ type Study struct {
 	// FullPortSweep scans all 65,535 TCP ports per device instead of the
 	// fast list (slow; the fast list covers every catalog service).
 	FullPortSweep bool
+	// Workers bounds analysis-engine concurrency (decode-once index build,
+	// Inspector generation sharding, artifact fan-out). Values < 1 mean one
+	// worker per CPU. Worker count never changes output, only wall time.
+	Workers int
 
 	Lab       *testbed.Lab
 	Honeypot  *honeypot.Honeypot
@@ -78,12 +85,45 @@ type Study struct {
 	// passive analyses (Figures 1–4, Tables 1/4, §5.1, App. D.1) are not
 	// polluted by later scan/app probe traffic, matching §3.1's separation.
 	passiveLen int
+
+	// passiveIdx is the decode-once packet index over the passive capture:
+	// every record's layers parsed exactly once, then shared read-only by all
+	// artifacts. Built lazily on first PassiveIndex call.
+	passiveIdx  *pcap.Index
+	idxOnce     sync.Once
+	identifiers *analysis.ExtractedIdentifiers
+	idsOnce     sync.Once
 }
 
-// NewStudy builds a study with the paper-equivalent defaults scaled to
-// simulation time.
-func NewStudy(seed int64) *Study {
-	return &Study{
+// Option configures a Study at construction time.
+type Option func(*Study)
+
+// WithIdleDuration sets the no-interaction capture window.
+func WithIdleDuration(d time.Duration) Option { return func(s *Study) { s.IdleDuration = d } }
+
+// WithInteractions sets the count of scripted device interactions.
+func WithInteractions(n int) Option { return func(s *Study) { s.Interactions = n } }
+
+// WithHouseholds sizes the crowdsourced dataset.
+func WithHouseholds(n int) Option { return func(s *Study) { s.Households = n } }
+
+// WithApps bounds how many dataset apps the instrumented phone exercises
+// (0 = all with local behaviour).
+func WithApps(n int) Option { return func(s *Study) { s.AppsToRun = n } }
+
+// WithFullPortSweep scans all 65,535 TCP ports per device.
+func WithFullPortSweep() Option { return func(s *Study) { s.FullPortSweep = true } }
+
+// WithTrace attaches a virtual-time event tracer before the lab boots.
+func WithTrace(t *obs.Tracer) Option { return func(s *Study) { s.Trace = t } }
+
+// WithWorkers bounds analysis-engine concurrency (< 1 = one per CPU).
+func WithWorkers(n int) Option { return func(s *Study) { s.Workers = n } }
+
+// New builds a study with the paper-equivalent defaults scaled to simulation
+// time, then applies options.
+func New(seed int64, opts ...Option) *Study {
+	s := &Study{
 		Seed:         seed,
 		IdleDuration: 45 * time.Minute,
 		Interactions: 120,
@@ -91,7 +131,16 @@ func NewStudy(seed int64) *Study {
 		AppsToRun:    0,
 		Profiler:     obs.NewProfiler(),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
+
+// NewStudy builds a study with default parameters.
+//
+// Deprecated: use New, which accepts functional options.
+func NewStudy(seed int64) *Study { return New(seed) }
 
 // phase wraps one pipeline stage with wall-clock, event-count, and
 // virtual-time accounting. The event/virtual deltas also land in the
@@ -144,10 +193,27 @@ func (s *Study) RunPassive() {
 	s.passiveLen = s.Lab.Capture.Len()
 }
 
-// PassiveRecords returns the capture up to the end of the passive phase.
-func (s *Study) PassiveRecords() []pcap.Record {
+// PassiveIndex returns the decode-once packet index over the passive
+// capture. The first call parses every record's layers (sharded across
+// Workers); subsequent calls — and every artifact consuming PassiveRecords —
+// share the cached parse. The index is immutable once built.
+func (s *Study) PassiveIndex() *pcap.Index {
 	s.RunPassive()
-	return s.Lab.Capture.All[:s.passiveLen]
+	s.idxOnce.Do(func() {
+		start := time.Now()
+		s.passiveIdx = pcap.NewIndex(s.Lab.Capture.All[:s.passiveLen], s.Workers)
+		if s.Profiler == nil {
+			s.Profiler = obs.NewProfiler()
+		}
+		s.Profiler.Add("index", time.Since(start), uint64(s.passiveIdx.Len()), 0)
+	})
+	return s.passiveIdx
+}
+
+// PassiveRecords returns the capture up to the end of the passive phase,
+// with each record carrying its decode-once parse cache.
+func (s *Study) PassiveRecords() []pcap.Record {
+	return s.PassiveIndex().Records
 }
 
 // fastPortList is 1–1024 plus every high port any catalog device can open.
@@ -271,22 +337,59 @@ func (s *Study) RunApps() {
 	})
 }
 
-// RunInspector generates the crowdsourced dataset (§3.3). Idempotent.
+// RunInspector generates the crowdsourced dataset (§3.3), sharding
+// households across Workers with per-household sub-seeds — output is
+// byte-identical for any worker count. Idempotent.
 func (s *Study) RunInspector() {
 	if s.Inspector == nil {
 		s.phase("inspector", func() {
-			s.Inspector = inspector.Generate(s.Seed, s.Households)
+			s.Inspector = inspector.GenerateParallel(s.Seed, s.Households, s.Workers)
 		})
 	}
 }
 
+// ExtractedIdentifiers returns the §6.3 identifier extraction over the
+// Inspector corpus, computed once (sharded across Workers) and shared by
+// Table 2 and the mitigation sweep.
+func (s *Study) ExtractedIdentifiers() *analysis.ExtractedIdentifiers {
+	s.RunInspector()
+	s.idsOnce.Do(func() {
+		start := time.Now()
+		s.identifiers = analysis.ExtractIdentifiers(s.Inspector, s.Workers)
+		if s.Profiler == nil {
+			s.Profiler = obs.NewProfiler()
+		}
+		s.Profiler.Add("identifiers", time.Since(start), uint64(s.Households), 0)
+	})
+	return s.identifiers
+}
+
 // RunAll executes every pipeline.
 func (s *Study) RunAll() {
-	s.RunPassive()
-	s.RunScans()
-	s.RunVulnScans()
-	s.RunApps()
-	s.RunInspector()
+	_ = s.RunAllContext(context.Background()) // errors only arise from ctx
+}
+
+// RunAllContext executes every pipeline, checking ctx between phases. A
+// cancelled context stops before the next phase starts and returns an error
+// naming the phase that did not run; already-finished phases keep their
+// results, so a later call resumes where it stopped.
+func (s *Study) RunAllContext(ctx context.Context) error {
+	for _, st := range []struct {
+		name string
+		run  func()
+	}{
+		{"passive", s.RunPassive},
+		{"scans", s.RunScans},
+		{"vuln", s.RunVulnScans},
+		{"apps", s.RunApps},
+		{"inspector", s.RunInspector},
+	} {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("iotlan: phase %s: %w", st.name, err)
+		}
+		st.run()
+	}
+	return nil
 }
 
 // MetricsReport renders the run's telemetry as one JSON document: the

@@ -1,0 +1,99 @@
+package iotlan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversEverything(t *testing.T) {
+	arts := Artifacts()
+	if len(arts) != 16 {
+		t.Fatalf("registry has %d artifacts, want 16", len(arts))
+	}
+	seen := map[string]bool{}
+	for _, a := range arts {
+		if a.Name == "" || a.PaperRef == "" || a.Kind == "" || a.Fn == nil {
+			t.Errorf("incomplete artifact: %+v", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate artifact name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	// Everything returns the registry order.
+	results := study(t).Everything()
+	for i, r := range results {
+		if r.ID != arts[i].PaperRef {
+			t.Errorf("result %d: ID %q, registry says %q", i, r.ID, arts[i].PaperRef)
+		}
+	}
+}
+
+func TestArtifactByNameResolvesAliases(t *testing.T) {
+	for lookup, want := range map[string]string{
+		"figure1": "figure1", "FIG1": "figure1", "Figure 1": "figure1",
+		"tab2": "table2", "entropy": "table2",
+		"ports": "ports", "§4.2 open services": "ports",
+		"vulnerabilities": "vulns",
+		"mitigation":      "mitigations",
+	} {
+		a, ok := ArtifactByName(lookup)
+		if !ok || a.Name != want {
+			t.Errorf("ArtifactByName(%q) = %q ok=%v, want %q", lookup, a.Name, ok, want)
+		}
+	}
+	if _, ok := ArtifactByName("figure 9"); ok {
+		t.Error("unknown artifact resolved")
+	}
+}
+
+func TestRunArtifactUnknownNameErrors(t *testing.T) {
+	s := New(3)
+	_, err := s.RunArtifact("no-such-artifact")
+	if err == nil {
+		t.Fatal("unknown artifact did not error")
+	}
+	if !strings.Contains(err.Error(), "no-such-artifact") || !strings.Contains(err.Error(), "table2") {
+		t.Fatalf("error should name the artifact and list known names: %v", err)
+	}
+}
+
+func TestRunArtifactRunsOnlyNeededPipelines(t *testing.T) {
+	s := study(t) // already fully run; RunArtifact must reuse it
+	r, err := s.RunArtifact("tab2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "Table 2" || r.Rendered == "" {
+		t.Fatalf("unexpected result: %+v", r)
+	}
+	// A fresh study runs just the catalog-only artifact without booting a lab.
+	fresh := New(3)
+	if _, err := fresh.RunArtifact("table3"); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Lab != nil {
+		t.Fatal("table3 should not boot the lab")
+	}
+}
+
+func TestNeedMaskString(t *testing.T) {
+	if NeedMask(0).String() != "none" {
+		t.Error("zero mask")
+	}
+	if got := (NeedPassive | NeedInspector).String(); got != "passive+inspector" {
+		t.Errorf("mask render: %q", got)
+	}
+}
+
+func TestNewStudyMatchesNewDefaults(t *testing.T) {
+	a, b := NewStudy(11), New(11)
+	if a.Seed != b.Seed || a.IdleDuration != b.IdleDuration ||
+		a.Interactions != b.Interactions || a.Households != b.Households {
+		t.Fatalf("NewStudy diverged from New: %+v vs %+v", a, b)
+	}
+	c := New(11, WithHouseholds(10), WithInteractions(5), WithWorkers(2), WithApps(1))
+	if c.Households != 10 || c.Interactions != 5 || c.Workers != 2 || c.AppsToRun != 1 {
+		t.Fatalf("options not applied: %+v", c)
+	}
+}

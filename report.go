@@ -10,6 +10,7 @@ import (
 	"iotlan/internal/app"
 	"iotlan/internal/classify"
 	"iotlan/internal/device"
+	"iotlan/internal/engine"
 	"iotlan/internal/pcap"
 	"iotlan/internal/scan"
 	"iotlan/internal/ssdp"
@@ -45,10 +46,11 @@ func (s *Study) Figure1() Result {
 // Figure2 builds the protocol-prevalence chart across all three methods.
 func (s *Study) Figure2() Result {
 	s.RunPassive()
-	if s.Apps == nil {
-		s.Apps = appDatasetFor(s)
+	apps := s.Apps
+	if apps == nil {
+		apps = appDatasetFor(s)
 	}
-	rows := analysis.ProtocolTable(s.PassiveRecords(), s.Lab.Devices, s.Scans, s.Apps)
+	rows := analysis.ProtocolTable(s.PassiveRecords(), s.Lab.Devices, s.Scans, apps)
 	metrics := map[string]float64{}
 	for _, r := range rows {
 		metrics["passive/"+r.Protocol] = r.PassivePct
@@ -84,12 +86,11 @@ func (s *Study) Table1() Result {
 	}
 }
 
-// Table2 runs the household-fingerprint entropy analysis.
+// Table2 runs the household-fingerprint entropy analysis, reusing the
+// study's extract-once identifier cache.
 func (s *Study) Table2() Result {
-	if s.Inspector == nil {
-		s.RunInspector()
-	}
-	rows := analysis.EntropyTable(s.Inspector)
+	ids := s.ExtractedIdentifiers()
+	rows := analysis.EntropyTableWith(s.Inspector, ids)
 	metrics := map[string]float64{}
 	for _, r := range rows {
 		key := strings.ReplaceAll(r.Key(), ", ", "+")
@@ -417,10 +418,8 @@ func (s *Study) HoneypotReport() Result {
 // countermeasures (name minimisation, UUID randomisation, MAC redaction)
 // reduce cross-session household re-identification?
 func (s *Study) Mitigations() Result {
-	if s.Inspector == nil {
-		s.RunInspector()
-	}
-	rows := analysis.MitigationTable(s.Inspector)
+	ids := s.ExtractedIdentifiers()
+	rows := analysis.MitigationTableWith(s.Inspector, ids)
 	metrics := map[string]float64{}
 	for _, r := range rows {
 		name := analysis.MitigationName(r.Mitigation)
@@ -433,25 +432,27 @@ func (s *Study) Mitigations() Result {
 // appDatasetFor lets Figure2 run without a full app execution.
 func appDatasetFor(s *Study) []app.App { return app.Dataset(s.Seed) }
 
-// Everything runs all experiments and returns them in paper order. Each
+// Everything runs all registered artifacts and returns them in paper order.
+// After the (sequential, virtual-time) pipelines finish, the shared
+// decode-once packet index and identifier cache are built, then artifacts
+// fan out across Workers — results are merged by registry index, never by
+// completion order, so output is byte-identical to a sequential run. Each
 // artifact's analysis time lands in the profiler as "artifact:<ID>" — the
 // pipelines themselves are profiled separately by RunAll's phases.
 func (s *Study) Everything() []Result {
 	s.RunAll()
-	artifacts := []func() Result{
-		s.Table3, s.Figure1, s.Figure2, s.Figure3, s.Figure4,
-		s.Table1, s.OpenPorts, s.Intervals, s.Periodicity,
-		s.VulnSummary, s.Table4, s.Table5,
-		s.Exfiltration, s.Table2, s.Mitigations, s.HoneypotReport,
-	}
-	out := make([]Result, 0, len(artifacts))
-	for _, fn := range artifacts {
+	// Shared read-only state is built up front (each behind a sync.Once, so
+	// this is belt-and-braces: concurrent artifacts could also race to the
+	// Once safely, but would then serialise on it).
+	s.PassiveIndex()
+	s.ExtractedIdentifiers()
+	arts := Artifacts()
+	return engine.Map(s.Workers, len(arts), func(i int) Result {
 		start := time.Now()
-		r := fn()
+		r := arts[i].Fn(s)
 		s.Profiler.Add("artifact:"+r.ID, time.Since(start), 0, 0)
-		out = append(out, r)
-	}
-	return out
+		return r
+	})
 }
 
 // sampleSSDPAd is exported for examples needing a canned advertisement.
