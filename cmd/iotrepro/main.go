@@ -4,14 +4,19 @@
 // Usage:
 //
 //	iotrepro [-seed N] [-idle 45m] [-interactions 120] [-households 3860]
-//	         [-apps 0] [-workers 0] [-artifact NAME] [-list] [-pcap-dir DIR]
-//	         [-metrics FILE] [-trace FILE] [-http ADDR]
+//	         [-apps 0] [-workers 0] [-chaos PROFILE] [-artifact NAME] [-list]
+//	         [-pcap-dir DIR] [-metrics FILE] [-trace FILE] [-http ADDR]
 //
 // -list prints the artifact registry (name, kind, paper reference, needed
 // pipelines) and exits. -artifact runs a single registered artifact by name
 // or alias ("figure1", "tab2", "ports", …), executing only the pipelines it
 // needs; -only is a deprecated alias. -workers bounds analysis concurrency
 // (0 = one worker per CPU) — worker count never changes output bytes.
+//
+// -chaos runs the lab under a named fault-injection profile (lossy, flaky,
+// partition, churn, degraded — "off" disables). The same (seed, profile)
+// pair produces byte-identical output on any worker count; the "chaos"
+// artifact summarises what was injected.
 //
 // -metrics writes the telemetry report (deterministic metrics snapshot +
 // wall-clock phase profile) as JSON. -trace streams the virtual-time event
@@ -33,6 +38,7 @@ import (
 	"time"
 
 	"iotlan"
+	"iotlan/internal/chaos"
 	"iotlan/internal/obs"
 )
 
@@ -43,6 +49,8 @@ func main() {
 	households := flag.Int("households", 3860, "crowdsourced households (paper: 3,860)")
 	apps := flag.Int("apps", 0, "max apps to execute (0 = all with local behaviour)")
 	workers := flag.Int("workers", 0, "analysis worker count (0 = one per CPU; never changes output)")
+	chaosName := flag.String("chaos", "off",
+		"fault-injection profile: "+strings.Join(chaos.ProfileNames(), ", ")+", or off")
 	artifact := flag.String("artifact", "", "run a single registered artifact by name (see -list)")
 	list := flag.Bool("list", false, "print the artifact registry and exit")
 	only := flag.String("only", "", "deprecated alias for -artifact")
@@ -64,12 +72,19 @@ func main() {
 		*artifact = *only
 	}
 
+	plan, err := chaos.Profile(*chaosName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	s := iotlan.New(*seed,
 		iotlan.WithIdleDuration(*idle),
 		iotlan.WithInteractions(*interactions),
 		iotlan.WithHouseholds(*households),
 		iotlan.WithApps(*apps),
 		iotlan.WithWorkers(*workers),
+		iotlan.WithChaos(plan),
 	)
 
 	var traceOut *os.File

@@ -26,7 +26,11 @@ func smallStudy(seed int64, workers int) *Study {
 // output — every artifact's ID, rendition, and metrics, and the Inspector
 // corpus itself, must match a sequential run exactly.
 func TestEverythingByteIdenticalAcrossWorkerCounts(t *testing.T) {
-	for _, seed := range []int64{1, 42, 1337} {
+	// One seed only: each iteration runs the full pipeline twice, and the
+	// package must fit go test's default 10m timeout under -race alongside
+	// the chaos determinism tests (which re-check the contract at a second
+	// seed with fault injection enabled).
+	for _, seed := range []int64{1337} {
 		seq := smallStudy(seed, 1)
 		par := smallStudy(seed, 4)
 		seqResults := seq.Everything()
@@ -63,7 +67,15 @@ func TestEverythingByteIdenticalAcrossWorkerCounts(t *testing.T) {
 func TestRunAllContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	s := smallStudy(5, 1)
+	// The smallest study that still runs every pipeline: this test is about
+	// cancellation and resumption semantics, not scale.
+	s := New(5,
+		WithIdleDuration(time.Minute),
+		WithInteractions(2),
+		WithHouseholds(20),
+		WithApps(2),
+		WithWorkers(1),
+	)
 	err := s.RunAllContext(ctx)
 	if err == nil {
 		t.Fatal("cancelled context did not stop RunAll")

@@ -1,0 +1,19 @@
+package coap
+
+import "testing"
+
+// FuzzDecode asserts the CoAP codec is total: the option loop must always
+// terminate (every iteration consumes at least one byte) and a parsed
+// message must re-marshal without panicking.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(NewGET(1, "/oic/res").Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		_ = m.Path()
+		_ = m.Marshal()
+	})
+}

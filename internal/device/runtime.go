@@ -47,6 +47,12 @@ type Device struct {
 
 	// Started reports whether Start has run.
 	Started bool
+	// crashed marks the device as down (chaos churn); see Crash/Restart.
+	crashed bool
+
+	// dhcpClient is the device's DHCP client, kept so a restart can re-run
+	// the lease exchange.
+	dhcpClient *dhcp.Client
 
 	// msg caches device_messages{proto=...} counter handles; the series are
 	// shared across all devices (the registry dedups by key), so they count
@@ -152,6 +158,7 @@ func (d *Device) Start() {
 		VendorClass: p.DHCPVendorClass,
 		Params:      p.DHCPParams,
 	}
+	d.dhcpClient = cl
 	cl.Start(func(ip netip.Addr) {
 		// Periodic gateway re-resolution: every device refreshes its ARP
 		// entry for the router ahead of cloud keepalives, so ARP activity
@@ -185,6 +192,40 @@ func (d *Device) Start() {
 	}
 	if p.XID {
 		sched.EveryTagged("device", 90*time.Second, 5*time.Minute, 30*time.Second, d.sendXID)
+	}
+}
+
+// Name returns the profile name (chaos.Churnable).
+func (d *Device) Name() string { return d.Profile.Name }
+
+// Crash powers the device off mid-run: its host NIC goes down (losing ARP
+// cache and TCP state) and it leaves the switch's station table, so in-flight
+// frames addressed to it count as "detached" drops. Timers keep firing but
+// every send is suppressed. Reports false (and does nothing) if the device
+// never started or is already down.
+func (d *Device) Crash() bool {
+	if !d.Started || d.crashed {
+		return false
+	}
+	d.crashed = true
+	d.Host.SetDown(true)
+	d.Host.Net.Detach(d.MAC())
+	return true
+}
+
+// Restart powers a crashed device back on: it rejoins the switch and re-runs
+// its DHCP lease exchange, like a real device rebooting mid-capture. Service
+// timers from the original Start are still scheduled, so behaviour resumes
+// once the NIC is up; services are not registered twice.
+func (d *Device) Restart() {
+	if !d.crashed {
+		return
+	}
+	d.crashed = false
+	d.Host.Net.Attach(d.Host)
+	d.Host.SetDown(false)
+	if d.dhcpClient != nil {
+		d.dhcpClient.Restart()
 	}
 }
 

@@ -1,0 +1,25 @@
+package dhcp
+
+import (
+	"testing"
+
+	"iotlan/internal/netx"
+)
+
+// FuzzDecode asserts the DHCP codec is total: option walking must terminate
+// and accessors must be safe on any parsed message.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(NewDiscover(netx.MAC{2, 0, 0, 0, 0, 1}, 7, "fuzz-host", "vendor", []uint8{1, 3, 6}).Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		_ = m.Type()
+		_ = m.Hostname()
+		_ = m.VendorClass()
+		_ = m.ParamRequest()
+		_ = m.Marshal()
+	})
+}

@@ -2,9 +2,11 @@ package dhcp
 
 import (
 	"net/netip"
+	"time"
 
 	"iotlan/internal/netx"
 	"iotlan/internal/obs"
+	"iotlan/internal/sim"
 	"iotlan/internal/stack"
 )
 
@@ -109,17 +111,53 @@ type Client struct {
 	// Router is the gateway learned from the ACK's option 3.
 	Router netip.Addr
 
-	xid  uint32
-	done func(ip netip.Addr)
+	xid   uint32
+	done  func(ip netip.Addr)
+	acked bool
+	retry *sim.Timer
 }
 
-// Start begins the DISCOVER/OFFER/REQUEST/ACK exchange.
+// maxAttempts bounds DISCOVER retransmissions per exchange; real clients
+// back off roughly exponentially and give up (or restart) after a handful.
+const maxAttempts = 6
+
+// Start begins the DISCOVER/OFFER/REQUEST/ACK exchange. The DISCOVER is
+// retransmitted with backoff until an ACK arrives, so leases complete even
+// on a lossy network (the chaos layer drops broadcast frames too).
 func (c *Client) Start(done func(ip netip.Addr)) {
 	c.done = done
-	c.xid = c.Host.Sched.Rand().Uint32()
 	c.Host.OpenUDP(68, c.onDatagram)
+	c.begin()
+}
+
+// Restart re-runs the lease exchange with a fresh transaction ID — a device
+// rebooting. The done callback from Start is NOT re-invoked (services are
+// already scheduled); the exchange just re-acquires the address.
+func (c *Client) Restart() {
+	c.done = nil
+	c.begin()
+}
+
+// begin starts one exchange: fresh xid, first DISCOVER, retry timer chain.
+func (c *Client) begin() {
+	if c.retry != nil {
+		c.retry.Stop()
+		c.retry = nil
+	}
+	c.acked = false
+	c.xid = c.Host.Sched.Rand().Uint32()
+	c.sendDiscover(1)
+}
+
+func (c *Client) sendDiscover(attempt int) {
+	if c.acked || attempt > maxAttempts {
+		return
+	}
 	d := NewDiscover(c.Host.MAC(), c.xid, c.Hostname, c.VendorClass, c.Params)
 	c.Host.SendUDP(68, netx.Broadcast4, 67, d.Marshal())
+	// Backoff: 4s, 8s, 16s, ... like RFC 2131's suggested schedule.
+	wait := time.Duration(4<<uint(attempt-1)) * time.Second
+	c.retry = c.Host.Sched.AfterTagged("dhcp", wait, func() { c.sendDiscover(attempt + 1) })
 }
 
 func (c *Client) onDatagram(dg stack.Datagram) {
@@ -129,9 +167,20 @@ func (c *Client) onDatagram(dg stack.Datagram) {
 	}
 	switch m.Type() {
 	case Offer:
+		if c.acked {
+			return // duplicate OFFER after completion (chaos duplication)
+		}
 		req := NewRequest(c.Host.MAC(), c.xid, m.YourIP, c.Hostname, c.VendorClass, c.Params)
 		c.Host.SendUDP(68, netx.Broadcast4, 67, req.Marshal())
 	case Ack:
+		if c.acked {
+			return
+		}
+		c.acked = true
+		if c.retry != nil {
+			c.retry.Stop()
+			c.retry = nil
+		}
 		c.Host.SetIPv4(m.YourIP)
 		if r := m.Opt(OptRouter); len(r) == 4 {
 			c.Router = netip.AddrFrom4([4]byte(r))

@@ -122,11 +122,19 @@ func appendRecord(b []byte, rr Record) []byte {
 	var data []byte
 	switch rr.Type {
 	case TypeA:
-		a := rr.Addr.As4()
-		data = a[:]
+		if rr.Addr.Is4() || rr.Addr.Is4In6() {
+			a := rr.Addr.As4()
+			data = a[:]
+		} else {
+			data = rr.Data // malformed rdata preserved by Unmarshal
+		}
 	case TypeAAAA:
-		a := rr.Addr.As16()
-		data = a[:]
+		if rr.Addr.IsValid() {
+			a := rr.Addr.As16()
+			data = a[:]
+		} else {
+			data = rr.Data // malformed rdata preserved by Unmarshal
+		}
 	case TypePTR, TypeNS:
 		data = appendName(nil, rr.Target)
 	case TypeSRV:
@@ -206,10 +214,14 @@ func Unmarshal(data []byte) (*Message, error) {
 			case TypeA:
 				if n == 4 {
 					rr.Addr = netip.AddrFrom4([4]byte(rdata))
+				} else {
+					rr.Data = append([]byte(nil), rdata...)
 				}
 			case TypeAAAA:
 				if n == 16 {
 					rr.Addr = netip.AddrFrom16([16]byte(rdata))
+				} else {
+					rr.Data = append([]byte(nil), rdata...)
 				}
 			case TypePTR, TypeNS:
 				rr.Target, _, _ = readName(data, rdStart)

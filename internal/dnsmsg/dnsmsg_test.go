@@ -1,6 +1,7 @@
 package dnsmsg
 
 import (
+	"bytes"
 	"net/netip"
 	"strings"
 	"testing"
@@ -147,5 +148,35 @@ func TestMarshalUnmarshalProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMarshalMalformedAddressRecord(t *testing.T) {
+	// An A record whose RDATA is not 4 bytes parses with a zero Addr; Marshal
+	// must re-emit the raw bytes rather than panic on Addr.As4 (found by
+	// FuzzDecode, corpus entry 62b4df903ee2673e).
+	raw := []byte{
+		0, 1, 0x80, 0, 0, 0, 0, 1, 0, 0, 0, 0, // header: 1 answer
+		0,          // root name
+		0, 1, 0, 1, // TYPE A, CLASS IN
+		0, 0, 0, 0, // TTL
+		0, 2, 0xde, 0xad, // RDLENGTH 2: malformed A rdata
+	}
+	m, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Marshal()
+	if !bytes.Equal(out, raw) {
+		t.Fatalf("malformed A record did not round-trip:\n got %x\nwant %x", out, raw)
+	}
+	// Same for AAAA with short rdata.
+	raw[15] = 28 // TYPE AAAA
+	m, err = Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := m.Marshal(); !bytes.Equal(out, raw) {
+		t.Fatalf("malformed AAAA record did not round-trip:\n got %x\nwant %x", out, raw)
 	}
 }

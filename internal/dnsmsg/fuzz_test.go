@@ -1,0 +1,26 @@
+package dnsmsg
+
+import "testing"
+
+// FuzzDecode asserts Unmarshal is total: arbitrary input must yield either
+// an error or a message whose fields are safe to walk — never a panic or a
+// hang (compression-pointer loops are the classic DNS parser trap).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		for _, q := range m.Questions {
+			_ = len(q.Name)
+		}
+		for _, rr := range append(append([]Record(nil), m.Answers...), m.Extra...) {
+			_ = len(rr.Name)
+			_ = len(rr.Data)
+		}
+		// A successfully parsed message must re-marshal without panicking.
+		_ = m.Marshal()
+	})
+}

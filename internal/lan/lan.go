@@ -29,7 +29,34 @@ type TapFunc func(at time.Time, frame []byte)
 const (
 	DropUndecodable    = "undecodable"
 	DropUnknownUnicast = "unknown-unicast"
+	// DropDetached counts in-flight frames whose destination left the
+	// network between send and delivery (a device crashing mid-exchange).
+	DropDetached = "detached"
+	// DropChaosLoss and DropChaosPartition count frames an attached fault
+	// injector discarded.
+	DropChaosLoss      = "chaos-loss"
+	DropChaosPartition = "chaos-partition"
 )
+
+// Verdict is a fault injector's decision about one frame delivery (one
+// receiver of a unicast or multicast frame).
+type Verdict struct {
+	// Drop discards the delivery; Reason labels the telemetry drop series.
+	Drop   bool
+	Reason string
+	// ExtraDelay is added to the network's base latency for this delivery.
+	// Deliveries delayed past later frames arrive reordered.
+	ExtraDelay time.Duration
+	// Duplicates schedules this many extra copies, each DuplicateGap after
+	// the previous one.
+	Duplicates   int
+	DuplicateGap time.Duration
+}
+
+// ImpairFunc decides the fate of one delivery. It runs in simulation-event
+// context at send time, once per receiver; src/dst are the frame's Ethernet
+// source and the receiver's MAC.
+type ImpairFunc func(src, dst netx.MAC, multicast bool, frame []byte) Verdict
 
 // Network is the simulated switch. Frames submitted with Send are delivered
 // after a fixed propagation delay via the shared scheduler, so all traffic
@@ -40,6 +67,10 @@ type Network struct {
 	// Latency is the one-way frame propagation delay (default 250µs,
 	// a plausible Wi-Fi LAN RTT/2).
 	Latency time.Duration
+
+	// Impair, when set, is consulted once per receiver before a delivery is
+	// scheduled (the chaos layer's hook). Nil means a perfect network.
+	Impair ImpairFunc
 
 	nodes map[netx.MAC]Node
 	order []netx.MAC // deterministic multicast fan-out order
@@ -124,9 +155,15 @@ func (n *Network) frameCounter(et uint16, multicast bool) *obs.Counter {
 }
 
 // drop counts a dropped frame; real switches drop silently, the telemetry
-// layer does not.
+// layer does not. Unknown reasons (chaos, detached) get their series created
+// on first use.
 func (n *Network) drop(reason string) {
-	n.cDropped[reason].Inc()
+	c, ok := n.cDropped[reason]
+	if !ok {
+		c = n.Sched.Telemetry.Registry.Counter("lan_frames_dropped", "reason", reason)
+		n.cDropped[reason] = c
+	}
+	c.Inc()
 	n.Sched.TraceEvent("lan", "drop", "reason", reason)
 }
 
@@ -188,33 +225,79 @@ func (n *Network) Send(frame []byte) {
 		tap(n.Sched.Now(), frame)
 	}
 	if multicast { // broadcast has the group bit set too
-		// One scheduler event fans out to every receiver: all stations hear
-		// a multicast frame at the same instant, and batching keeps the
-		// event queue small on busy discovery traffic.
+		// Station membership is snapshotted at send time (the frame is "in
+		// the air"); each receiver is looked up again at delivery so a
+		// station that detached in flight counts as a drop, not a delivery.
 		src := eth.Src
-		n.Sched.AfterTagged("lan", n.Latency, func() {
+		if n.Impair == nil {
+			// One scheduler event fans out to every receiver: all stations
+			// hear a multicast frame at the same instant, and batching keeps
+			// the event queue small on busy discovery traffic.
+			recipients := make([]netx.MAC, 0, len(n.order))
 			for _, mac := range n.order {
-				if mac == src {
-					continue
-				}
-				if node, ok := n.nodes[mac]; ok {
-					n.FramesDelivered++
-					n.cDelivered.Inc()
-					node.HandleFrame(frame)
+				if mac != src {
+					recipients = append(recipients, mac)
 				}
 			}
-		})
+			n.Sched.AfterTagged("lan", n.Latency, func() {
+				for _, mac := range recipients {
+					n.deliverNow(mac, frame)
+				}
+			})
+			return
+		}
+		for _, mac := range n.order {
+			if mac != src {
+				n.scheduleDelivery(src, mac, true, frame)
+			}
+		}
 		return
 	}
-	if node, ok := n.nodes[eth.Dst]; ok {
-		n.Sched.AfterTagged("lan", n.Latency, func() {
-			n.FramesDelivered++
-			n.cDelivered.Inc()
-			node.HandleFrame(frame)
-		})
+	if _, ok := n.nodes[eth.Dst]; ok {
+		n.scheduleDelivery(eth.Src, eth.Dst, false, frame)
 		return
 	}
 	// Unknown unicast destinations are dropped: the switch has a complete
 	// station table because every node Attaches explicitly.
 	n.drop(DropUnknownUnicast)
+}
+
+// scheduleDelivery applies the impairment verdict (if any) for one receiver
+// and schedules the delivery event(s).
+func (n *Network) scheduleDelivery(src, dst netx.MAC, multicast bool, frame []byte) {
+	delay := n.Latency
+	copies := 1
+	gap := time.Duration(0)
+	if n.Impair != nil {
+		v := n.Impair(src, dst, multicast, frame)
+		if v.Drop {
+			reason := v.Reason
+			if reason == "" {
+				reason = DropChaosLoss
+			}
+			n.drop(reason)
+			return
+		}
+		delay += v.ExtraDelay
+		copies += v.Duplicates
+		gap = v.DuplicateGap
+	}
+	for i := 0; i < copies; i++ {
+		at := delay + time.Duration(i)*gap
+		n.Sched.AfterTagged("lan", at, func() { n.deliverNow(dst, frame) })
+	}
+}
+
+// deliverNow hands a frame to the station currently owning dst, or counts a
+// detached drop when the station left the network while the frame was in
+// flight.
+func (n *Network) deliverNow(dst netx.MAC, frame []byte) {
+	node, ok := n.nodes[dst]
+	if !ok {
+		n.drop(DropDetached)
+		return
+	}
+	n.FramesDelivered++
+	n.cDelivered.Inc()
+	node.HandleFrame(frame)
 }

@@ -205,3 +205,63 @@ func (h *hookNode) HandleFrame(frame []byte) {
 	h.onFrame()
 	h.stubNode.HandleFrame(frame)
 }
+
+// Regression: a unicast frame already in flight when its destination
+// detaches must count as a "detached" drop, not panic or silently vanish.
+func TestDetachWhileUnicastInFlight(t *testing.T) {
+	s, n, a, b, _ := setup()
+	n.Send(frame(t, a.mac, b.mac))
+	n.Detach(b.mac) // before the delivery event fires
+	s.RunFor(time.Second)
+	if len(b.frames) != 0 {
+		t.Fatal("detached node received an in-flight frame")
+	}
+	if got := s.Telemetry.Registry.CounterValue("lan_frames_dropped{reason=detached}"); got != 1 {
+		t.Fatalf("detached drops = %d, want 1", got)
+	}
+	if n.FramesDelivered != 0 {
+		t.Fatalf("FramesDelivered = %d, want 0", n.FramesDelivered)
+	}
+}
+
+// Regression: multicast membership is snapshotted at send time, and each
+// receiver is re-checked at delivery — a station that detaches in flight
+// counts as a drop, and a station that attaches in flight hears nothing.
+func TestDetachWhileMulticastInFlight(t *testing.T) {
+	s, n, a, b, c := setup()
+	n.Send(frame(t, a.mac, netx.Broadcast))
+	n.Detach(c.mac)
+	late := &stubNode{mac: netx.MAC{2, 0, 0, 0, 0, 9}}
+	n.Attach(late) // joined after the frame was "in the air"
+	s.RunFor(time.Second)
+	if len(b.frames) != 1 {
+		t.Fatalf("surviving receiver got %d frames, want 1", len(b.frames))
+	}
+	if len(c.frames) != 0 || len(late.frames) != 0 {
+		t.Fatalf("in-flight membership leaked: detached=%d late-attach=%d",
+			len(c.frames), len(late.frames))
+	}
+	if got := s.Telemetry.Registry.CounterValue("lan_frames_dropped{reason=detached}"); got != 1 {
+		t.Fatalf("detached drops = %d, want 1", got)
+	}
+}
+
+// The detached-drop accounting must also hold on the impaired path, where
+// each receiver gets its own delivery event.
+func TestDetachWhileInFlightWithImpairment(t *testing.T) {
+	s, n, a, b, _ := setup()
+	n.Impair = func(src, dst netx.MAC, multicast bool, frame []byte) Verdict {
+		return Verdict{ExtraDelay: time.Millisecond}
+	}
+	n.Send(frame(t, a.mac, b.mac))
+	n.Send(frame(t, a.mac, netx.Broadcast))
+	n.Detach(b.mac)
+	s.RunFor(time.Second)
+	if len(b.frames) != 0 {
+		t.Fatal("detached node received impaired in-flight frames")
+	}
+	// Both the unicast and b's share of the broadcast count as detached.
+	if got := s.Telemetry.Registry.CounterValue("lan_frames_dropped{reason=detached}"); got != 2 {
+		t.Fatalf("detached drops = %d, want 2", got)
+	}
+}

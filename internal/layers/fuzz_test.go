@@ -1,0 +1,22 @@
+package layers
+
+import "testing"
+
+// FuzzDecode asserts the full-frame decoder is total: it is the first thing
+// that touches every frame the chaos corruptor writes onto the LAN, so
+// truncated and bit-flipped Ethernet/IP/transport headers must never panic.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 14))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := Decode(data)
+		if p.Err != nil {
+			return
+		}
+		if p.HasIP4 || p.HasIP6 {
+			_ = p.SrcIP()
+			_ = p.DstIP()
+		}
+		_ = p.AppPayload
+	})
+}

@@ -1,0 +1,23 @@
+package netbios
+
+import (
+	"testing"
+
+	"iotlan/internal/netx"
+)
+
+// FuzzDecode asserts the NetBIOS name codec and NBSTAT message parsers are
+// total over arbitrary bytes.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(NBSTATQuery(7))
+	f.Add(StatusResponse(7, []string{"FUZZBOX"}, netx.MAC{2, 0, 0, 0, 0, 1}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ParseQuery(data)
+		if names, mac, err := ParseStatusResponse(data); err == nil {
+			_ = len(names)
+			_ = mac.String()
+		}
+		_, _ = DecodeName(string(data))
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"time"
 
+	"iotlan/internal/engine"
 	"iotlan/internal/obs"
 )
 
@@ -60,6 +61,7 @@ type srcStats struct {
 type Scheduler struct {
 	now     time.Time
 	seq     uint64
+	seed    int64
 	events  eventHeap
 	rng     *rand.Rand
 	stopped bool
@@ -84,6 +86,7 @@ func NewScheduler(seed int64) *Scheduler {
 	tel := obs.NewTelemetry()
 	return &Scheduler{
 		now:       Epoch,
+		seed:      seed,
 		rng:       rand.New(rand.NewSource(seed)),
 		Telemetry: tel,
 		gQueue:    tel.Registry.Gauge("sim_queue_depth"),
@@ -97,6 +100,17 @@ func (s *Scheduler) Now() time.Time { return s.now }
 // Rand exposes the scheduler's deterministic random stream. All simulated
 // jitter must come from here so that a seed fully determines a run.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Seed returns the seed the scheduler was built with.
+func (s *Scheduler) Seed() int64 { return s.seed }
+
+// SubRand derives an independent deterministic random stream from the
+// scheduler's seed. Layers that consume randomness out-of-band (fault
+// injection, dataset generators) draw from their own stream so enabling them
+// never perturbs the base simulation's random sequence.
+func (s *Scheduler) SubRand(stream uint64) *rand.Rand {
+	return rand.New(rand.NewSource(engine.SubSeed(s.seed, stream)))
+}
 
 // VirtualMicros is the current virtual time in microseconds since Epoch —
 // the timestamp unit trace records use.

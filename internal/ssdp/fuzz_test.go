@@ -1,0 +1,21 @@
+package ssdp
+
+import "testing"
+
+// FuzzDecode asserts the SSDP/HTTPU parser and the UPnP description-XML
+// parser are total over arbitrary bytes.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte("M-SEARCH * HTTP/1.1\r\nHOST: 239.255.255.250:1900\r\nST: ssdp:all\r\n\r\n"))
+	f.Add([]byte("<root><device><friendlyName>x</friendlyName></device></root>"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := Parse(data); err == nil {
+			_ = m.Location()
+			_ = m.Header("SERVER")
+			_ = m.Header("USN")
+		}
+		if d, err := ParseDevice(data); err == nil {
+			_ = d.FriendlyName
+			_ = len(d.Services)
+		}
+	})
+}

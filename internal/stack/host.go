@@ -91,6 +91,10 @@ type Host struct {
 	// other than ours — the sweep detector behind RespondARPBroadcast.
 	foreignARP map[netx.MAC]time.Time
 
+	// down marks a crashed host: it neither sends nor receives, though its
+	// timers keep firing (and no-op), like a powered-off NIC.
+	down bool
+
 	// tcp caches the stack-layer telemetry handles (shared series across
 	// hosts; see newTCPStats).
 	tcp *tcpStats
@@ -132,6 +136,23 @@ func (h *Host) IPv6() netip.Addr { return h.ip6 }
 // SetIPv4 assigns the IPv4 address (static config or DHCP result).
 func (h *Host) SetIPv4(addr netip.Addr) { h.ip4 = addr }
 
+// SetDown powers the host's NIC off (true) or back on (false). A down host
+// drops every inbound frame and suppresses every send. Going down also loses
+// volatile state a reboot would lose: the ARP/neighbor cache, frames queued
+// on ARP resolution, and established TCP connections.
+func (h *Host) SetDown(v bool) {
+	h.down = v
+	if v {
+		h.arp = make(map[netip.Addr]netx.MAC)
+		h.arpWait = make(map[netip.Addr][]pendingFrame)
+		h.foreignARP = nil
+		h.tcpConns = make(map[connKey]*TCPConn)
+	}
+}
+
+// IsDown reports whether the host is crashed (see SetDown).
+func (h *Host) IsDown() bool { return h.down }
+
 // ephemeralPort allocates a client port.
 func (h *Host) ephemeralPort() uint16 {
 	for {
@@ -147,7 +168,7 @@ func (h *Host) ephemeralPort() uint16 {
 
 // send emits a frame onto the LAN.
 func (h *Host) send(frame []byte, err error) {
-	if err != nil {
+	if err != nil || h.down {
 		return
 	}
 	h.Net.Send(frame)
@@ -155,10 +176,18 @@ func (h *Host) send(frame []byte, err error) {
 
 // SendRaw emits an arbitrary pre-built frame (EAPOL, LLC/XID, crafted
 // probes).
-func (h *Host) SendRaw(frame []byte) { h.Net.Send(frame) }
+func (h *Host) SendRaw(frame []byte) {
+	if h.down {
+		return
+	}
+	h.Net.Send(frame)
+}
 
 // HandleFrame implements lan.Node: the host's receive path.
 func (h *Host) HandleFrame(frame []byte) {
+	if h.down {
+		return
+	}
 	if h.OnRawFrame != nil {
 		h.OnRawFrame(frame)
 	}

@@ -1,0 +1,17 @@
+package stun
+
+import "testing"
+
+// FuzzDecode asserts the STUN codec and both classifier heuristics are
+// total; a parsed message must re-marshal without panicking.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Message{Type: BindingRequest}).Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = LooksLikeSTUN(data)
+		_ = IsSTUN(data)
+		if m, err := Unmarshal(data); err == nil {
+			_ = m.Marshal()
+		}
+	})
+}

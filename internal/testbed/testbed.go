@@ -9,6 +9,7 @@ import (
 	"net/netip"
 	"time"
 
+	"iotlan/internal/chaos"
 	"iotlan/internal/device"
 	"iotlan/internal/dhcp"
 	"iotlan/internal/lan"
@@ -32,6 +33,10 @@ type Lab struct {
 	DHCP    *dhcp.Server
 	Devices []*device.Device
 
+	// Chaos is the fault-injection engine; present even when the plan is
+	// disabled so callers can read Faults() unconditionally.
+	Chaos *chaos.Engine
+
 	byName map[string]*device.Device
 	// Interactions counts scripted interaction events (§3.1's 7,191).
 	Interactions  int
@@ -41,17 +46,36 @@ type Lab struct {
 // Telemetry returns the simulation-wide metrics/tracing hub.
 func (l *Lab) Telemetry() *obs.Telemetry { return l.Sched.Telemetry }
 
+// Option configures a Lab at construction time.
+type Option func(*labConfig)
+
+type labConfig struct {
+	plan chaos.Plan
+}
+
+// WithChaos enables deterministic fault injection under the given plan.
+func WithChaos(plan chaos.Plan) Option {
+	return func(c *labConfig) { c.plan = plan }
+}
+
 // New builds a lab with the full catalog on a deterministic seed.
-func New(seed int64) *Lab {
-	return NewWith(seed, device.Catalog())
+func New(seed int64, opts ...Option) *Lab {
+	return NewWith(seed, device.Catalog(), opts...)
 }
 
 // NewWith builds a lab from a custom profile list (subset labs for tests).
-func NewWith(seed int64, profiles []*device.Profile) *Lab {
+func NewWith(seed int64, profiles []*device.Profile, opts ...Option) *Lab {
+	var cfg labConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	sched := sim.NewScheduler(seed)
 	network := lan.New(sched)
 	capture := pcap.NewCapture()
 	network.Tap(capture.Add)
+	// The chaos engine attaches before any other construction so its corrupt
+	// tap ordering (after the capture tap) is fixed and deterministic.
+	eng := chaos.New(sched, network, cfg.plan)
 
 	router := stack.NewHost(network, netx.MAC{0x02, 0x42, 0xc0, 0xa8, 0x0a, 0x01}, stack.DefaultPolicy)
 	router.SetIPv4(RouterIP)
@@ -59,7 +83,7 @@ func NewWith(seed int64, profiles []*device.Profile) *Lab {
 
 	lab := &Lab{
 		Sched: sched, Net: network, Capture: capture,
-		Router: router, DHCP: server,
+		Router: router, DHCP: server, Chaos: eng,
 		byName:        make(map[string]*device.Device),
 		cInteractions: sched.Telemetry.Registry.Counter("testbed_interactions"),
 	}
@@ -123,6 +147,13 @@ func (l *Lab) Start() {
 		l.Sched.AfterTagged("testbed", time.Duration(i)*300*time.Millisecond, d.Start)
 	}
 	l.Sched.AfterTagged("testbed", time.Minute, l.schedulePlatformTraffic)
+	if l.Chaos.Plan.Churn != nil {
+		devs := make([]chaos.Churnable, len(l.Devices))
+		for i, d := range l.Devices {
+			devs[i] = d
+		}
+		l.Chaos.StartChurn(devs)
+	}
 }
 
 // schedulePlatformTraffic drives the TLS/RTP cluster traffic: each platform
@@ -246,7 +277,7 @@ func (l *Lab) AddHost(lastOctet byte, mac netx.MAC) *stack.Host {
 // including frames the LAN dropped, which Capture.Len() never sees.
 func (l *Lab) Summary() string {
 	reg := l.Sched.Telemetry.Registry
-	return fmt.Sprintf("devices=%d frames=%d dropped=%d events=%d pending=%d interactions=%d virtual=%s",
+	s := fmt.Sprintf("devices=%d frames=%d dropped=%d events=%d pending=%d interactions=%d virtual=%s",
 		len(l.Devices),
 		reg.CounterValue("lan_frames_delivered"),
 		reg.Total("lan_frames_dropped"),
@@ -254,4 +285,8 @@ func (l *Lab) Summary() string {
 		l.Sched.Pending(),
 		reg.CounterValue("testbed_interactions"),
 		l.Sched.Now().Sub(sim.Epoch).Truncate(time.Second))
+	if l.Chaos.Plan.Enabled() {
+		s += fmt.Sprintf(" chaos=%s faults=%d", l.Chaos.Plan, l.Chaos.Faults())
+	}
+	return s
 }

@@ -1,0 +1,22 @@
+package tplink
+
+import "testing"
+
+// FuzzDecode asserts the TP-Link smart-plug codec is total: TCP length
+// unframing, the XOR autokey deobfuscation, and the sysinfo JSON parser all
+// run on untrusted LAN bytes.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(FrameTCP(Obfuscate([]byte(`{"system":{"get_sysinfo":{}}}`))))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if inner, err := UnframeTCP(data); err == nil {
+			plain := Deobfuscate(inner)
+			if info, err := ParseSysinfoResponse(plain); err == nil {
+				_ = info.Alias
+				_ = info.MAC
+			}
+		}
+		// UDP discovery replies arrive unframed.
+		_, _ = ParseSysinfoResponse(Deobfuscate(data))
+	})
+}

@@ -1,0 +1,27 @@
+package tuya
+
+import "testing"
+
+// FuzzDecode asserts the Tuya frame/crypto/beacon pipeline is total: the
+// chaos layer's corruptor bit-flips real 6666/6667 broadcasts, so every
+// stage must survive arbitrary bytes.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	b := Beacon{GWID: "fuzzgw", ProductKey: "key", Version: "3.3", Active: 2, Encrypt: true}
+	f.Add(Frame(CmdUDPNew, Encrypt(b.Marshal())))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if cmd, payload, err := Unframe(data); err == nil {
+			_ = cmd
+			if plain, err := Decrypt(payload); err == nil {
+				if bc, err := ParseBeacon(plain); err == nil {
+					_ = bc.GWID
+				}
+			}
+		}
+		// The UDP listener also tries both stages directly on raw payloads.
+		if plain, err := Decrypt(data); err == nil {
+			_, _ = ParseBeacon(plain)
+		}
+		_, _ = ParseBeacon(data)
+	})
+}

@@ -28,6 +28,7 @@ import (
 
 	"iotlan/internal/analysis"
 	"iotlan/internal/app"
+	"iotlan/internal/chaos"
 	"iotlan/internal/device"
 	"iotlan/internal/honeypot"
 	"iotlan/internal/inspector"
@@ -63,6 +64,10 @@ type Study struct {
 	// Inspector generation sharding, artifact fan-out). Values < 1 mean one
 	// worker per CPU. Worker count never changes output, only wall time.
 	Workers int
+	// ChaosPlan configures deterministic fault injection on the lab network
+	// (see internal/chaos). The zero Plan injects nothing. For a fixed
+	// (Seed, ChaosPlan) pair outputs stay byte-identical across Workers.
+	ChaosPlan chaos.Plan
 
 	Lab       *testbed.Lab
 	Honeypot  *honeypot.Honeypot
@@ -120,6 +125,10 @@ func WithTrace(t *obs.Tracer) Option { return func(s *Study) { s.Trace = t } }
 // WithWorkers bounds analysis-engine concurrency (< 1 = one per CPU).
 func WithWorkers(n int) Option { return func(s *Study) { s.Workers = n } }
 
+// WithChaos runs the lab under a fault-injection plan (use chaos.Profile for
+// the named impairment profiles, or build a chaos.Plan directly).
+func WithChaos(plan chaos.Plan) Option { return func(s *Study) { s.ChaosPlan = plan } }
+
 // New builds a study with the paper-equivalent defaults scaled to simulation
 // time, then applies options.
 func New(seed int64, opts ...Option) *Study {
@@ -176,7 +185,7 @@ func (s *Study) RunPassive() {
 		return
 	}
 	s.phase("passive", func() {
-		s.Lab = testbed.New(s.Seed)
+		s.Lab = testbed.New(s.Seed, testbed.WithChaos(s.ChaosPlan))
 		// The tracer must be on the scheduler before any event fires.
 		s.Lab.Telemetry().Tracer = s.Trace
 		s.Lab.Start()

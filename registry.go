@@ -139,6 +139,8 @@ var registry = []Artifact{
 		Fn: (*Study).Mitigations, Aliases: []string{"mitigation"}},
 	{Name: "honeypot", PaperRef: "honeypot", Kind: "section", Needs: NeedPassive,
 		Fn: (*Study).HoneypotReport, Aliases: []string{"honey"}},
+	{Name: "chaos", PaperRef: "fault injection", Kind: "section", Needs: NeedPassive,
+		Fn: (*Study).ChaosReport, Aliases: []string{"faults", "fault-injection"}},
 }
 
 // Artifacts returns the registry in paper order. The slice is a copy;
