@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench2 microbench repro examples clean
+.PHONY: all build vet test race verify bench bench2 bench3 microbench repro examples clean
 
 all: build vet test
 
@@ -38,6 +38,12 @@ bench:
 # asserting identical output. Records BENCH_2.json.
 bench2:
 	$(GO) run ./cmd/iotbench -artifacts -seed 1 -idle 45m -out BENCH_2.json
+
+# Shared-prereq memoization benchmark: the duplicated-work baseline versus
+# the memoized analysis at workers=1 and workers=4, min-of-3 reps with a GC
+# between, all variants checksummed identical. Records BENCH_3.json.
+bench3:
+	$(GO) run ./cmd/iotbench -engine -seed 1 -idle 45m -reps 3 -out BENCH_3.json
 
 # go-test micro benchmarks (per-layer throughput, allocation counts).
 microbench:

@@ -39,6 +39,21 @@ func benchStudy(b *testing.B) *Study {
 	return benchS
 }
 
+// BenchmarkEverything times the full artifact fan-out with cold analysis
+// caches per iteration — the end-to-end region BENCH_3.json tracks.
+func BenchmarkEverything(b *testing.B) {
+	s := benchStudy(b)
+	want := len(Artifacts())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ResetAnalysisCaches()
+		if res := s.Everything(); len(res) != want {
+			b.Fatalf("Everything returned %d results, want %d", len(res), want)
+		}
+	}
+}
+
 // --- One bench per table and figure ---------------------------------------
 
 func BenchmarkTable3Catalog(b *testing.B) {

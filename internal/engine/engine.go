@@ -22,6 +22,29 @@ func Workers(n int) int {
 	return n
 }
 
+// parallelism caps a resolved worker count at the runtime's actual
+// parallelism. Goroutines beyond GOMAXPROCS cannot run CPU-bound work
+// concurrently, so spawning them only buys scheduler overhead — on a 1-core
+// box every fan-out degrades to the inline sequential loop (and the
+// determinism contract makes that invisible in output).
+func parallelism(workers int) int {
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		return p
+	}
+	return workers
+}
+
+// testHookSpawn, when non-nil, is called immediately before every goroutine
+// the engine spawns. Tests use it to assert the inline fallback really
+// spawns nothing.
+var testHookSpawn func()
+
+func spawned() {
+	if testHookSpawn != nil {
+		testHookSpawn()
+	}
+}
+
 // Range is a half-open shard [Start, End) of a larger index space.
 type Range struct {
 	Start, End int
@@ -57,19 +80,24 @@ func Shards(n, workers int) []Range {
 
 // ForEachShard runs fn once per shard, one goroutine each, and waits for
 // all. Shards are contiguous, so fn can write disjoint slice ranges without
-// synchronisation.
+// synchronisation. When the effective parallelism is 1 — a single shard, or
+// GOMAXPROCS == 1 — the shards run inline on the caller's goroutine in shard
+// order, spawning nothing.
 func ForEachShard(n, workers int, fn func(shard int, r Range)) {
 	shards := Shards(n, workers)
 	if len(shards) == 0 {
 		return
 	}
-	if len(shards) == 1 {
-		fn(0, shards[0])
+	if len(shards) == 1 || parallelism(len(shards)) <= 1 {
+		for i, r := range shards {
+			fn(i, r)
+		}
 		return
 	}
 	var wg sync.WaitGroup
 	for i, r := range shards {
 		wg.Add(1)
+		spawned()
 		go func(i int, r Range) {
 			defer wg.Done()
 			fn(i, r)
@@ -91,6 +119,10 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	if workers > n {
 		workers = n
 	}
+	// An explicit worker count above the runtime's parallelism (workers=4 on
+	// a 1-core box) buys nothing for CPU-bound tasks; degrade to the inline
+	// loop rather than paying goroutine + work-stealing overhead.
+	workers = parallelism(workers)
 	if workers <= 1 {
 		for i := range out {
 			out[i] = fn(i)
@@ -101,6 +133,7 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		spawned()
 		go func() {
 			defer wg.Done()
 			for {

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"runtime"
+	"sync/atomic"
 	"testing"
 )
 
@@ -98,5 +100,66 @@ func TestWorkersFloor(t *testing.T) {
 	}
 	if Workers(7) != 7 {
 		t.Fatal("explicit worker count not respected")
+	}
+}
+
+// countSpawns runs fn with the spawn hook installed and reports how many
+// goroutines the engine started.
+func countSpawns(t *testing.T, fn func()) int {
+	t.Helper()
+	var n atomic.Int64
+	testHookSpawn = func() { n.Add(1) }
+	defer func() { testHookSpawn = nil }()
+	fn()
+	return int(n.Load())
+}
+
+// With GOMAXPROCS=1 the engine must degrade every fan-out — even an explicit
+// workers=4 request — to the inline sequential loop: zero goroutines, same
+// output.
+func TestSequentialFallbackSpawnsNothing(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	spawnsMap := countSpawns(t, func() {
+		got := Map(4, 100, func(i int) int { return i * 3 })
+		for i, v := range got {
+			if v != i*3 {
+				t.Fatalf("inline Map wrong at %d: %d", i, v)
+			}
+		}
+	})
+	if spawnsMap != 0 {
+		t.Fatalf("Map(4, …) at GOMAXPROCS=1 spawned %d goroutines, want 0", spawnsMap)
+	}
+
+	spawnsShard := countSpawns(t, func() {
+		out := make([]int, 100)
+		ForEachShard(100, 4, func(_ int, r Range) {
+			for i := r.Start; i < r.End; i++ {
+				out[i] = i + 1
+			}
+		})
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("inline ForEachShard missed index %d", i)
+			}
+		}
+	})
+	if spawnsShard != 0 {
+		t.Fatalf("ForEachShard(…, 4) at GOMAXPROCS=1 spawned %d goroutines, want 0", spawnsShard)
+	}
+}
+
+// Above one core the engine still parallelises: the hook must fire once per
+// worker when parallelism allows it.
+func TestFanOutSpawnsWhenParallel(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	spawns := countSpawns(t, func() {
+		_ = Map(4, 100, func(i int) int { return i })
+	})
+	if spawns != 4 {
+		t.Fatalf("Map(4, 100) at GOMAXPROCS=4 spawned %d goroutines, want 4", spawns)
 	}
 }

@@ -18,11 +18,14 @@ type Node interface {
 	// Attach (no flooding-based learning is modelled).
 	MAC() netx.MAC
 	// HandleFrame delivers a frame addressed to (or multicast past) the node.
-	// It runs in simulation-event context.
+	// It runs in simulation-event context. The frame is network-owned (see
+	// the Send ownership contract); receivers must not modify it.
 	HandleFrame(frame []byte)
 }
 
-// TapFunc observes every frame on the network, like tcpdump on the AP.
+// TapFunc observes every frame on the network, like tcpdump on the AP. The
+// frame slice is retained by capture layers, so the Send ownership contract
+// applies: it must never be modified after Send.
 type TapFunc func(at time.Time, frame []byte)
 
 // Drop reasons for lan_frames_dropped{reason=...}.
@@ -72,9 +75,22 @@ type Network struct {
 	// scheduled (the chaos layer's hook). Nil means a perfect network.
 	Impair ImpairFunc
 
+	// CheckFrameOwnership enables the debug enforcement of Send's ownership
+	// contract: every frame is checksummed at send time and re-verified at
+	// delivery; a sender that reused its buffer while the frame was in
+	// flight panics with a diagnostic instead of silently corrupting
+	// captures. Off by default — it costs one hash pass per frame.
+	CheckFrameOwnership bool
+
 	nodes map[netx.MAC]Node
 	order []netx.MAC // deterministic multicast fan-out order
 	taps  []TapFunc
+
+	// freeDeliveries / freeFanouts pool the per-delivery structs scheduled
+	// on the simulator, so the steady-state send path allocates nothing.
+	// The sim is single-threaded; plain slices suffice.
+	freeDeliveries []*delivery
+	freeFanouts    []*fanout
 
 	// FramesDelivered counts deliveries (multicast counts once per receiver).
 	FramesDelivered uint64
@@ -206,8 +222,99 @@ func (n *Network) Tap(fn TapFunc) { n.taps = append(n.taps, fn) }
 // NodeCount reports attached nodes.
 func (n *Network) NodeCount() int { return len(n.nodes) }
 
+// delivery is one pooled in-flight unicast (or per-receiver impaired)
+// delivery event. It implements sim.Runner so scheduling it allocates no
+// closure; Fire returns the struct to the network's pool.
+type delivery struct {
+	net   *Network
+	dst   netx.MAC
+	frame []byte
+	check uint64 // send-time frame checksum; 0 when ownership checks are off
+}
+
+// Fire implements sim.Runner.
+func (d *delivery) Fire() {
+	n := d.net
+	n.verifyOwnership(d.frame, d.check)
+	n.deliverNow(d.dst, d.frame)
+	*d = delivery{}
+	n.freeDeliveries = append(n.freeDeliveries, d)
+}
+
+// fanout is one pooled multicast delivery event: a single scheduler event
+// that hands the frame to every send-time recipient, keeping the event queue
+// small on busy discovery traffic. The recipients slice keeps its capacity
+// across reuses.
+type fanout struct {
+	net        *Network
+	recipients []netx.MAC
+	frame      []byte
+	check      uint64
+}
+
+// Fire implements sim.Runner.
+func (f *fanout) Fire() {
+	n := f.net
+	n.verifyOwnership(f.frame, f.check)
+	for _, mac := range f.recipients {
+		n.deliverNow(mac, f.frame)
+	}
+	f.recipients = f.recipients[:0]
+	f.frame, f.check = nil, 0
+	n.freeFanouts = append(n.freeFanouts, f)
+}
+
+func (n *Network) getDelivery(dst netx.MAC, frame []byte, check uint64) *delivery {
+	if l := len(n.freeDeliveries); l > 0 {
+		d := n.freeDeliveries[l-1]
+		n.freeDeliveries[l-1] = nil
+		n.freeDeliveries = n.freeDeliveries[:l-1]
+		*d = delivery{net: n, dst: dst, frame: frame, check: check}
+		return d
+	}
+	return &delivery{net: n, dst: dst, frame: frame, check: check}
+}
+
+func (n *Network) getFanout(frame []byte, check uint64) *fanout {
+	if l := len(n.freeFanouts); l > 0 {
+		f := n.freeFanouts[l-1]
+		n.freeFanouts[l-1] = nil
+		n.freeFanouts = n.freeFanouts[:l-1]
+		f.net, f.frame, f.check = n, frame, check
+		return f
+	}
+	return &fanout{net: n, frame: frame, check: check}
+}
+
+// frameSum is FNV-1a over the frame, used by the ownership debug check.
+func frameSum(b []byte) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * prime
+	}
+	return h
+}
+
+// verifyOwnership enforces the Send contract when CheckFrameOwnership is on.
+func (n *Network) verifyOwnership(frame []byte, want uint64) {
+	if want == 0 || !n.CheckFrameOwnership {
+		return
+	}
+	if got := frameSum(frame); got != want {
+		panic("lan: frame mutated after Send — the sender reused its buffer while the frame was in flight (Send transfers ownership; see Network.Send)")
+	}
+}
+
 // Send submits a frame to the switch. The tap observes it immediately
 // (capture happens at the AP); receivers get it after Latency.
+//
+// Ownership contract: Send transfers ownership of the frame slice to the
+// network. Capture taps retain it verbatim and in-flight deliveries hand the
+// same backing array to receivers, so the caller must not modify the buffer
+// after Send — build a fresh frame per send (layers.Serialize does). Buffer
+// reuse is a bug; set CheckFrameOwnership in tests to catch it with a panic
+// at delivery time.
 func (n *Network) Send(frame []byte) {
 	var eth layers.Ethernet
 	if eth.DecodeFromBytes(frame) != nil {
@@ -224,6 +331,10 @@ func (n *Network) Send(frame []byte) {
 	for _, tap := range n.taps {
 		tap(n.Sched.Now(), frame)
 	}
+	var check uint64
+	if n.CheckFrameOwnership {
+		check = frameSum(frame)
+	}
 	if multicast { // broadcast has the group bit set too
 		// Station membership is snapshotted at send time (the frame is "in
 		// the air"); each receiver is looked up again at delivery so a
@@ -233,28 +344,24 @@ func (n *Network) Send(frame []byte) {
 			// One scheduler event fans out to every receiver: all stations
 			// hear a multicast frame at the same instant, and batching keeps
 			// the event queue small on busy discovery traffic.
-			recipients := make([]netx.MAC, 0, len(n.order))
+			f := n.getFanout(frame, check)
 			for _, mac := range n.order {
 				if mac != src {
-					recipients = append(recipients, mac)
+					f.recipients = append(f.recipients, mac)
 				}
 			}
-			n.Sched.AfterTagged("lan", n.Latency, func() {
-				for _, mac := range recipients {
-					n.deliverNow(mac, frame)
-				}
-			})
+			n.Sched.AfterRunner("lan", n.Latency, f)
 			return
 		}
 		for _, mac := range n.order {
 			if mac != src {
-				n.scheduleDelivery(src, mac, true, frame)
+				n.scheduleDelivery(src, mac, true, frame, check)
 			}
 		}
 		return
 	}
 	if _, ok := n.nodes[eth.Dst]; ok {
-		n.scheduleDelivery(eth.Src, eth.Dst, false, frame)
+		n.scheduleDelivery(eth.Src, eth.Dst, false, frame, check)
 		return
 	}
 	// Unknown unicast destinations are dropped: the switch has a complete
@@ -263,8 +370,8 @@ func (n *Network) Send(frame []byte) {
 }
 
 // scheduleDelivery applies the impairment verdict (if any) for one receiver
-// and schedules the delivery event(s).
-func (n *Network) scheduleDelivery(src, dst netx.MAC, multicast bool, frame []byte) {
+// and schedules the pooled delivery event(s).
+func (n *Network) scheduleDelivery(src, dst netx.MAC, multicast bool, frame []byte, check uint64) {
 	delay := n.Latency
 	copies := 1
 	gap := time.Duration(0)
@@ -284,7 +391,7 @@ func (n *Network) scheduleDelivery(src, dst netx.MAC, multicast bool, frame []by
 	}
 	for i := 0; i < copies; i++ {
 		at := delay + time.Duration(i)*gap
-		n.Sched.AfterTagged("lan", at, func() { n.deliverNow(dst, frame) })
+		n.Sched.AfterRunner("lan", at, n.getDelivery(dst, frame, check))
 	}
 }
 

@@ -181,6 +181,32 @@ func TestFrameTypeAccounting(t *testing.T) {
 	}
 }
 
+func TestOwnershipViolationPanics(t *testing.T) {
+	s, n, a, b, _ := setup()
+	n.CheckFrameOwnership = true
+	f := frame(t, a.mac, b.mac)
+	n.Send(f)
+	// The sender illegally reuses its buffer while the frame is in flight.
+	f[len(f)-1] ^= 0xff
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mutating a frame in flight did not panic with CheckFrameOwnership on")
+		}
+	}()
+	s.RunFor(time.Second)
+}
+
+func TestOwnershipCheckPassesCleanTraffic(t *testing.T) {
+	s, n, a, b, c := setup()
+	n.CheckFrameOwnership = true
+	n.Send(frame(t, a.mac, b.mac))
+	n.Send(frame(t, a.mac, netx.Broadcast))
+	s.RunFor(time.Second)
+	if len(b.frames) != 2 || len(c.frames) != 1 {
+		t.Fatalf("clean traffic misdelivered under ownership checks: b=%d c=%d", len(b.frames), len(c.frames))
+	}
+}
+
 func TestDeliveryLatency(t *testing.T) {
 	s, n, a, b, _ := setup()
 	start := s.Now()

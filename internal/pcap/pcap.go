@@ -6,6 +6,7 @@
 package pcap
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -42,16 +43,31 @@ const (
 	linkEN10MB  = 1
 )
 
+// defaultSnaplen is the conventional tcpdump snapshot length. WriteFile
+// raises the header's snaplen above it when a record is larger, so caplen
+// never exceeds the declared snaplen.
+const defaultSnaplen = 65535
+
 // WriteFile writes records to w in libpcap format (microsecond timestamps,
-// Ethernet link type).
+// Ethernet link type). Output is buffered internally, so passing a raw
+// *os.File costs two syscalls total, not two per record. The global header's
+// snaplen is the maximum of 65535 and the largest record, keeping the
+// invariant pcap consumers rely on: caplen ≤ snaplen for every record.
 func WriteFile(w io.Writer, records []Record) error {
+	snaplen := uint32(defaultSnaplen)
+	for _, r := range records {
+		if l := uint32(len(r.Data)); l > snaplen {
+			snaplen = l
+		}
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
 	var hdr [24]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], magicMicros)
 	binary.LittleEndian.PutUint16(hdr[4:6], 2) // major
 	binary.LittleEndian.PutUint16(hdr[6:8], 4) // minor
-	binary.LittleEndian.PutUint32(hdr[16:20], 65535)
+	binary.LittleEndian.PutUint32(hdr[16:20], snaplen)
 	binary.LittleEndian.PutUint32(hdr[20:24], linkEN10MB)
-	if _, err := w.Write(hdr[:]); err != nil {
+	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
 	var rec [16]byte
@@ -60,14 +76,14 @@ func WriteFile(w io.Writer, records []Record) error {
 		binary.LittleEndian.PutUint32(rec[4:8], uint32(r.Time.Nanosecond()/1000))
 		binary.LittleEndian.PutUint32(rec[8:12], uint32(len(r.Data)))
 		binary.LittleEndian.PutUint32(rec[12:16], uint32(len(r.Data)))
-		if _, err := w.Write(rec[:]); err != nil {
+		if _, err := bw.Write(rec[:]); err != nil {
 			return err
 		}
-		if _, err := w.Write(r.Data); err != nil {
+		if _, err := bw.Write(r.Data); err != nil {
 			return err
 		}
 	}
-	return nil
+	return bw.Flush()
 }
 
 // ReadFile parses a libpcap file produced by WriteFile (or tcpdump with

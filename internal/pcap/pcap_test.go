@@ -2,6 +2,8 @@ package pcap
 
 import (
 	"bytes"
+	"encoding/binary"
+	"io"
 	"net/netip"
 	"testing"
 	"time"
@@ -50,6 +52,54 @@ func TestFileRoundTrip(t *testing.T) {
 		if !bytes.Equal(got[i].Data, recs[i].Data) {
 			t.Errorf("rec %d data mismatch", i)
 		}
+	}
+}
+
+// A record larger than the conventional 65535 snaplen must raise the global
+// header's snaplen to cover it — a fixed 65535 header would declare caplen >
+// snaplen, which strict pcap readers reject as corrupt.
+func TestWriteFileRaisesSnaplenForJumboRecord(t *testing.T) {
+	big := make([]byte, 70000)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	recs := []Record{
+		{Time: time.Unix(1668384000, 0).UTC(), Data: []byte{1, 2, 3}},
+		{Time: time.Unix(1668384001, 0).UTC(), Data: big},
+	}
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if snaplen := binary.LittleEndian.Uint32(raw[16:20]); snaplen != 70000 {
+		t.Fatalf("header snaplen = %d, want 70000", snaplen)
+	}
+	// Second record header starts after the 24-byte global header, the first
+	// 16-byte record header, and the 3-byte first record.
+	off := 24 + 16 + 3
+	caplen := binary.LittleEndian.Uint32(raw[off+8 : off+12])
+	origlen := binary.LittleEndian.Uint32(raw[off+12 : off+16])
+	if caplen != 70000 || origlen != 70000 {
+		t.Fatalf("jumbo record caplen=%d origlen=%d, want 70000/70000", caplen, origlen)
+	}
+	got, err := ReadFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !bytes.Equal(got[1].Data, big) {
+		t.Fatalf("jumbo record did not round-trip (%d records)", len(got))
+	}
+}
+
+// Small captures keep the conventional tcpdump snaplen.
+func TestWriteFileDefaultSnaplen(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, []Record{{Time: time.Unix(1, 0).UTC(), Data: []byte{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if snaplen := binary.LittleEndian.Uint32(buf.Bytes()[16:20]); snaplen != 65535 {
+		t.Fatalf("header snaplen = %d, want 65535", snaplen)
 	}
 }
 
@@ -106,5 +156,23 @@ func TestFilterLocal(t *testing.T) {
 	got := FilterLocal(recs)
 	if len(got) != 2 {
 		t.Fatalf("FilterLocal kept %d, want 2", len(got))
+	}
+}
+
+func BenchmarkPcapWrite(b *testing.B) {
+	recs := make([]Record, 1000)
+	for i := range recs {
+		data := make([]byte, 120)
+		for j := range data {
+			data[j] = byte(i + j)
+		}
+		recs[i] = Record{Time: time.Unix(int64(i), 0).UTC(), Data: data}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteFile(io.Discard, recs); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -20,12 +20,25 @@ import (
 // (rather than the wall clock) keeps timestamps in captures deterministic.
 var Epoch = time.Date(2022, 11, 14, 0, 0, 0, 0, time.UTC)
 
-// Event is a unit of scheduled work.
+// Runner is a pre-bound event callback. Hot paths that would otherwise
+// allocate a fresh closure per scheduled event (the LAN's per-frame delivery
+// events, tens of thousands per simulated minute) implement Runner on a
+// pooled struct and schedule it with AtRunner/AfterRunner instead.
+type Runner interface {
+	// Fire runs the event. It executes in simulation-event context.
+	Fire()
+}
+
+// Event is a unit of scheduled work. Events are pooled: after dispatch (or
+// cancelled pop) the struct returns to the scheduler's free list and is
+// reused by a later schedule under a fresh seq, which is what lets stale
+// Timer handles detect that "their" event is gone.
 type event struct {
 	at  time.Time
-	seq uint64 // tie-breaker: FIFO among equal timestamps
+	seq uint64 // tie-breaker: FIFO among equal timestamps; also the Timer generation
 	fn  func()
-	src string // telemetry source tag ("lan", "device", …)
+	run Runner    // exactly one of fn/run is set on a live event
+	st  *srcStats // per-source telemetry handles, resolved at schedule time
 }
 
 type eventHeap []*event
@@ -48,9 +61,11 @@ func (h *eventHeap) Pop() interface{} {
 	return ev
 }
 
-// srcStats caches the per-source counter handles so the dispatch loop never
-// touches the registry's mutex-guarded maps.
+// srcStats caches the per-source counter handles so neither the dispatch
+// loop nor the tracer ever touches the registry's mutex-guarded maps. It is
+// resolved once per schedule call and rides on the event.
 type srcStats struct {
+	name      string
 	processed *obs.Counter
 	cancelled *obs.Counter
 }
@@ -78,6 +93,10 @@ type Scheduler struct {
 
 	gQueue   *obs.Gauge
 	bySource map[string]*srcStats
+
+	// free is the event free list. The sim is single-threaded, so a plain
+	// slice (no sync.Pool) is both faster and deterministic.
+	free []*event
 }
 
 // NewScheduler returns a scheduler whose clock starts at Epoch and whose
@@ -132,6 +151,7 @@ func (s *Scheduler) stats(source string) *srcStats {
 	st, ok := s.bySource[source]
 	if !ok {
 		st = &srcStats{
+			name:      source,
 			processed: s.Telemetry.Registry.Counter("sim_events_processed", "source", source),
 			cancelled: s.Telemetry.Registry.Counter("sim_events_cancelled", "source", source),
 		}
@@ -140,9 +160,43 @@ func (s *Scheduler) stats(source string) *srcStats {
 	return st
 }
 
+// schedule is the single enqueue path: it pulls an event off the free list
+// (or allocates one), stamps it with a fresh seq, and pushes it on the heap.
+// The per-source stats handles are resolved here, at schedule time, so the
+// dispatch loop never does a map lookup.
+func (s *Scheduler) schedule(source string, at time.Time, fn func(), run Runner) *event {
+	if at.Before(s.now) {
+		at = s.now
+	}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*ev = event{at: at, seq: s.seq, fn: fn, run: run, st: s.stats(source)}
+	} else {
+		ev = &event{at: at, seq: s.seq, fn: fn, run: run, st: s.stats(source)}
+	}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// recycle clears an event and returns it to the free list. The seq it held
+// stays behind on the struct until reuse; Timer.Stop compares seqs, so a
+// stale handle either finds nil callbacks (harmless) or a mismatched seq.
+func (s *Scheduler) recycle(ev *event) {
+	ev.fn, ev.run, ev.st = nil, nil, nil
+	s.free = append(s.free, ev)
+}
+
 // Timer is a handle to a scheduled event that can be cancelled.
 type Timer struct {
 	ev *event
+	// seq is the generation of ev this handle refers to. Events are pooled;
+	// once ev has been recycled and reused its seq no longer matches and
+	// Stop becomes a no-op on it instead of cancelling a stranger's event.
+	seq uint64
 	// stopped latches cancellation so recurring timers (Every) stop even
 	// when Stop is called from inside their own callback, where ev already
 	// points at the event being dispatched.
@@ -156,8 +210,8 @@ func (t *Timer) Stop() {
 		return
 	}
 	t.stopped = true
-	if t.ev != nil {
-		t.ev.fn = nil
+	if t.ev != nil && t.ev.seq == t.seq {
+		t.ev.fn, t.ev.run = nil, nil
 	}
 }
 
@@ -170,14 +224,20 @@ func (s *Scheduler) At(at time.Time, fn func()) *Timer {
 // AtTagged is At with a telemetry source tag: dispatches are counted under
 // sim_events_processed{source=...}.
 func (s *Scheduler) AtTagged(source string, at time.Time, fn func()) *Timer {
-	if at.Before(s.now) {
-		at = s.now
-	}
-	ev := &event{at: at, seq: s.seq, fn: fn, src: source}
-	s.seq++
-	heap.Push(&s.events, ev)
-	s.gQueue.Set(int64(len(s.events)))
-	return &Timer{ev: ev}
+	ev := s.schedule(source, at, fn, nil)
+	return &Timer{ev: ev, seq: ev.seq}
+}
+
+// AtRunner schedules a pre-bound Runner at the given virtual time. Unlike
+// AtTagged it returns no Timer and allocates nothing in steady state (the
+// event comes from the pool), which is why frame-delivery hot paths use it.
+func (s *Scheduler) AtRunner(source string, at time.Time, r Runner) {
+	s.schedule(source, at, nil, r)
+}
+
+// AfterRunner schedules a pre-bound Runner d after the current virtual time.
+func (s *Scheduler) AfterRunner(source string, d time.Duration, r Runner) {
+	s.schedule(source, s.now.Add(d), nil, r)
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -216,9 +276,11 @@ func (s *Scheduler) EveryTagged(source string, first, period, jitter time.Durati
 				d = period
 			}
 		}
-		handle.ev = s.AfterTagged(source, d, tick).ev
+		ev := s.schedule(source, s.now.Add(d), tick, nil)
+		handle.ev, handle.seq = ev, ev.seq
 	}
-	handle.ev = s.AfterTagged(source, first, tick).ev
+	ev := s.schedule(source, s.now.Add(first), tick, nil)
+	handle.ev, handle.seq = ev, ev.seq
 	return handle
 }
 
@@ -238,22 +300,31 @@ func (s *Scheduler) Run(until time.Time) uint64 {
 			break
 		}
 		heap.Pop(&s.events)
-		s.gQueue.Set(int64(len(s.events)))
-		if ev.fn == nil { // cancelled
+		if ev.fn == nil && ev.run == nil { // cancelled
 			s.Cancelled++
-			s.stats(ev.src).cancelled.Inc()
+			ev.st.cancelled.Inc()
+			s.recycle(ev)
 			continue
 		}
 		s.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
+		fn, run, st := ev.fn, ev.run, ev.st
+		ev.fn, ev.run = nil, nil
 		if tracing {
-			s.Telemetry.Tracer.Event(s.VirtualMicros(), "sim", "dispatch", "source", ev.src)
+			s.Telemetry.Tracer.Event(s.VirtualMicros(), "sim", "dispatch", "source", st.name)
 		}
-		fn()
+		if run != nil {
+			run.Fire()
+		} else {
+			fn()
+		}
 		s.Processed++
-		s.stats(ev.src).processed.Inc()
+		st.processed.Inc()
+		s.recycle(ev)
 	}
+	// The queue-depth gauge is batched: one Set per Run call instead of one
+	// per push/pop. The sim is single-threaded, so mid-run intermediate
+	// depths were never observable from a consistent point anyway.
+	s.gQueue.Set(int64(len(s.events)))
 	if s.now.Before(until) {
 		s.now = until
 	}

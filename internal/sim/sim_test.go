@@ -231,10 +231,32 @@ func TestQuickOrdering(t *testing.T) {
 }
 
 func BenchmarkSchedulerDispatch(b *testing.B) {
-	s := NewScheduler(1)
-	for i := 0; i < b.N; i++ {
-		s.After(time.Duration(i)*time.Microsecond, func() {})
-	}
-	b.ResetTimer()
-	s.RunFor(time.Duration(b.N+1) * time.Microsecond)
+	b.Run("AtTagged", func(b *testing.B) {
+		s := NewScheduler(1)
+		fn := func() {}
+		s.AtTagged("bench", s.Now(), fn)
+		s.RunFor(time.Millisecond)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.AtTagged("bench", s.Now().Add(time.Microsecond), fn)
+			s.RunFor(time.Millisecond)
+		}
+	})
+	b.Run("AtRunner", func(b *testing.B) {
+		s := NewScheduler(1)
+		r := &benchRunner{}
+		s.AtRunner("bench", s.Now(), r)
+		s.RunFor(time.Millisecond)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.AtRunner("bench", s.Now().Add(time.Microsecond), r)
+			s.RunFor(time.Millisecond)
+		}
+	})
 }
+
+type benchRunner struct{ fired int }
+
+func (r *benchRunner) Fire() { r.fired++ }

@@ -1,0 +1,47 @@
+package iotlan
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The shared-prerequisite memoization (decode-once index, communication
+// graph, identifier extraction) must be invisible in output: a study with the
+// caches disabled rebuilds everything per artifact yet renders byte-identical
+// results, and dropping the caches mid-study changes nothing on the next
+// pass.
+func TestUnsharedPrereqsIdenticalOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full studies")
+	}
+	opts := []Option{
+		WithIdleDuration(2 * time.Minute),
+		WithInteractions(8),
+		WithHouseholds(60),
+		WithApps(6),
+		WithWorkers(1),
+	}
+	shared := New(5, opts...)
+	unshared := New(5, append(opts, WithoutSharedPrereqs())...)
+
+	a := shared.Everything()
+	b := unshared.Everything()
+	compareResults(t, "unshared", a, b)
+
+	shared.ResetAnalysisCaches()
+	compareResults(t, "post-reset", a, shared.Everything())
+}
+
+func compareResults(t *testing.T, label string, want, got []Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID || want[i].Rendered != got[i].Rendered ||
+			!reflect.DeepEqual(want[i].Metrics, got[i].Metrics) {
+			t.Fatalf("%s: artifact %q diverged from the memoized run", label, want[i].ID)
+		}
+	}
+}

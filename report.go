@@ -11,7 +11,6 @@ import (
 	"iotlan/internal/classify"
 	"iotlan/internal/device"
 	"iotlan/internal/engine"
-	"iotlan/internal/pcap"
 	"iotlan/internal/scan"
 	"iotlan/internal/ssdp"
 	"iotlan/internal/tplink"
@@ -28,10 +27,11 @@ type Result struct {
 	Metrics map[string]float64
 }
 
-// Figure1 builds the device-to-device communication graph.
+// Figure1 builds the device-to-device communication graph, shared with
+// Figure4 via the study's graph cache.
 func (s *Study) Figure1() Result {
 	s.RunPassive()
-	g := analysis.BuildGraph(s.PassiveRecords(), s.Lab.Devices)
+	g := s.PassiveGraph()
 	return Result{
 		ID:       "Figure 1",
 		Rendered: analysis.RenderGraph(g),
@@ -194,7 +194,7 @@ func tplinkSample(d *device.Device) string {
 // Figure3 cross-validates the two classifiers.
 func (s *Study) Figure3() Result {
 	s.RunPassive()
-	flows, nonFlow := classify.Assemble(pcap.FilterLocal(s.PassiveRecords()))
+	flows, nonFlow := classify.Assemble(s.PassiveIndex().Local())
 	c := classify.Compare(flows, nonFlow)
 	spec, dpi, disagree, neither := c.Fractions()
 	return Result{
@@ -210,10 +210,10 @@ func (s *Study) Figure3() Result {
 	}
 }
 
-// Figure4 extracts the per-vendor cluster subgraphs.
+// Figure4 extracts the per-vendor cluster subgraphs from the shared graph.
 func (s *Study) Figure4() Result {
 	s.RunPassive()
-	g := analysis.BuildGraph(s.PassiveRecords(), s.Lab.Devices)
+	g := s.PassiveGraph()
 	clusters := analysis.VendorClusters(g, s.Lab.Devices)
 	var keys []string
 	for k := range clusters {
@@ -474,13 +474,17 @@ func appDatasetFor(s *Study) []app.App { return app.Dataset(s.Seed) }
 // artifact's analysis time lands in the profiler as "artifact:<ID>" — the
 // pipelines themselves are profiled separately by RunAll's phases.
 func (s *Study) Everything() []Result {
-	s.RunAll()
-	// Shared read-only state is built up front (each behind a sync.Once, so
-	// this is belt-and-braces: concurrent artifacts could also race to the
-	// Once safely, but would then serialise on it).
-	s.PassiveIndex()
-	s.ExtractedIdentifiers()
+	// prepare with the union of every artifact's Needs runs all pipelines,
+	// then builds the shared read-only prerequisites (decode-once index,
+	// communication graph, identifier extraction) before the fan-out — so
+	// workers start with warm caches instead of serialising on the first
+	// artifact to hit each sync.Once.
 	arts := Artifacts()
+	var needs NeedMask
+	for _, a := range arts {
+		needs |= a.Needs
+	}
+	s.prepare(needs)
 	return engine.Map(s.Workers, len(arts), func(i int) Result {
 		start := time.Now()
 		r := arts[i].Fn(s)
