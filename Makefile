@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench2 bench3 microbench repro examples clean
+.PHONY: all build vet test race verify bench bench2 bench3 bench4 microbench repro serve examples clean
 
 all: build vet test
 
@@ -44,6 +44,17 @@ bench2:
 # between, all variants checksummed identical. Records BENCH_3.json.
 bench3:
 	$(GO) run ./cmd/iotbench -engine -seed 1 -idle 45m -reps 3 -out BENCH_3.json
+
+# Serving benchmark: iotload self-hosts an in-process iotserve, uploads 200
+# synthesized households (wire + capture) at concurrency 16 honoring 429
+# backpressure, and records BENCH_4.json — throughput, p50/p95/p99, and the
+# gate that the served fleet Table 2 checksums equal to the offline Study.
+bench4:
+	$(GO) run ./cmd/iotload -households 200 -concurrency 16 -seed 1 -out BENCH_4.json
+
+# Run the capture-ingestion service on :8080.
+serve:
+	$(GO) run ./cmd/iotserve -addr :8080
 
 # go-test micro benchmarks (per-layer throughput, allocation counts).
 microbench:

@@ -24,6 +24,9 @@
 // results are checksummed and must match. make bench3 drives this mode and
 // writes BENCH_3.json.
 //
+// BENCH_4.json (serving throughput and the served-vs-offline determinism
+// gate) is written by the companion load generator, cmd/iotload.
+//
 // Usage:
 //
 //	iotbench [-seed N] [-idle 45m] [-out BENCH_1.json]

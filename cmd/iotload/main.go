@@ -1,0 +1,331 @@
+// Command iotload drives iotserve with synthesized households and writes
+// BENCH_4.json: upload throughput, latency percentiles, and the
+// determinism gate — after all uploads land, the server's fleet Table 2
+// must checksum identically to the offline Study pipeline over the same
+// generated dataset.
+//
+// With no -addr it self-hosts an in-process serve.Server on a real
+// 127.0.0.1 TCP listener, so `make bench4` is a single command; -addr
+// points it at an external iotserve instead (the determinism gate then
+// requires the server to have ingested exactly this load).
+//
+// Every upload honors backpressure: a 429 answer sleeps the Retry-After
+// hint and retries, so the "dropped" count is zero unless the server
+// refuses an upload for a non-backpressure reason.
+//
+// Usage:
+//
+//	iotload [-households 200] [-concurrency 16] [-seed 1]
+//	        [-mode mixed|inspector|capture] [-addr host:port]
+//	        [-queue 64] [-workers N] [-out BENCH_4.json]
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"iotlan"
+	"iotlan/internal/inspector"
+	"iotlan/internal/pcap"
+	"iotlan/internal/serve"
+)
+
+// benchRecord is the BENCH_4.json schema. Wall-clock and percentile fields
+// vary run to run; uploads/dropped/identical/checksum are the gates.
+type benchRecord struct {
+	Seed          int64   `json:"seed"`
+	Households    int     `json:"households"`
+	Concurrency   int     `json:"concurrency"`
+	Mode          string  `json:"mode"`
+	Uploads       int     `json:"uploads"`
+	Retries429    int     `json:"retries_429"`
+	Dropped       int     `json:"dropped"`
+	CacheHits     int     `json:"cache_hits"`
+	WallMS        float64 `json:"wall_ms"`
+	UploadsPerSec float64 `json:"uploads_per_sec"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	// Identical asserts the serving determinism contract: fleet Table 2 from
+	// the concurrently-loaded server checksums equal to the offline Study.
+	Identical      bool   `json:"identical"`
+	ChecksumSHA256 string `json:"checksum_sha256"`
+}
+
+// upload is one queued HTTP POST.
+type upload struct {
+	path string
+	body []byte
+}
+
+// outcome is one upload's accounting.
+type outcome struct {
+	latency  time.Duration
+	retries  int
+	dropped  bool
+	cacheHit bool
+}
+
+func main() {
+	households := flag.Int("households", 200, "households to synthesize and upload")
+	concurrency := flag.Int("concurrency", 16, "concurrent uploaders")
+	seed := flag.Int64("seed", 1, "generation seed")
+	mode := flag.String("mode", "mixed", "upload mix: inspector, capture, or mixed (both per household)")
+	addr := flag.String("addr", "", "target server (empty = self-host in process)")
+	workers := flag.Int("workers", 0, "self-hosted server workers (0 = one per CPU)")
+	queue := flag.Int("queue", 64, "self-hosted server queue capacity")
+	out := flag.String("out", "BENCH_4.json", "output file (\"-\" for stdout)")
+	flag.Parse()
+	if *mode != "inspector" && *mode != "capture" && *mode != "mixed" {
+		fmt.Fprintf(os.Stderr, "iotload: unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	ds := inspector.Generate(*seed, *households)
+
+	base := *addr
+	if base == "" {
+		srv := serve.New(serve.Config{Workers: *workers, QueueCapacity: *queue})
+		httpSrv := serve.NewHTTPServer("", srv.Mux())
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iotload:", err)
+			os.Exit(1)
+		}
+		go httpSrv.Serve(ln)
+		defer func() {
+			httpSrv.Close()
+			srv.Close()
+		}()
+		base = ln.Addr().String()
+		fmt.Printf("iotload: self-hosted iotserve on %s\n", base)
+	}
+	base = "http://" + base
+
+	// Build the upload set up front so the timed region is pure load.
+	var uploads []upload
+	for _, h := range ds.Households {
+		if *mode == "inspector" || *mode == "mixed" {
+			var buf bytes.Buffer
+			if err := inspector.EncodeWire(&buf, []*inspector.Household{h}); err != nil {
+				fatal(err)
+			}
+			uploads = append(uploads, upload{path: "/v1/ingest/inspector", body: buf.Bytes()})
+		}
+		if *mode == "capture" || *mode == "mixed" {
+			var buf bytes.Buffer
+			if err := pcap.WriteFile(&buf, inspector.SyntheticCapture(h)); err != nil {
+				fatal(err)
+			}
+			uploads = append(uploads, upload{
+				path: fmt.Sprintf("/v1/households/%s/capture", h.ID),
+				body: buf.Bytes(),
+			})
+		}
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	work := make(chan upload)
+	results := make(chan outcome, len(uploads))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				results <- post(client, base, u)
+			}
+		}()
+	}
+	for _, u := range uploads {
+		work <- u
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+	close(results)
+
+	rec := benchRecord{
+		Seed:        *seed,
+		Households:  *households,
+		Concurrency: *concurrency,
+		Mode:        *mode,
+		WallMS:      float64(wall) / float64(time.Millisecond),
+	}
+	var lats []time.Duration
+	for o := range results {
+		rec.Uploads++
+		rec.Retries429 += o.retries
+		if o.dropped {
+			rec.Dropped++
+		}
+		if o.cacheHit {
+			rec.CacheHits++
+		}
+		lats = append(lats, o.latency)
+	}
+	if s := wall.Seconds(); s > 0 {
+		rec.UploadsPerSec = float64(rec.Uploads) / s
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rec.P50MS = percentileMS(lats, 0.50)
+	rec.P95MS = percentileMS(lats, 0.95)
+	rec.P99MS = percentileMS(lats, 0.99)
+
+	// Determinism gate: the loaded server's fleet Table 2 vs the offline
+	// Study over the identical dataset, iotbench-checksum style. Capture-only
+	// load ingests no inspector corpus, so the gate only applies when wire
+	// uploads happened.
+	if *mode != "capture" {
+		served, err := fetchArtifact(client, base, "table2")
+		if err != nil {
+			fatal(err)
+		}
+		study := iotlan.New(0, iotlan.WithHouseholds(*households))
+		study.Inspector = ds
+		offline, err := study.RunArtifact("table2")
+		if err != nil {
+			fatal(err)
+		}
+		servedSum := checksum(served)
+		rec.Identical = servedSum == checksum(offline)
+		rec.ChecksumSHA256 = servedSum
+	} else {
+		rec.Identical = true
+	}
+
+	writeJSON(rec, *out)
+	fmt.Printf("bench4: %d uploads at concurrency %d in %.0f ms (%.0f/sec, %d retries, %d dropped), p50 %.1f ms p95 %.1f ms p99 %.1f ms, identical=%v → %s\n",
+		rec.Uploads, rec.Concurrency, rec.WallMS, rec.UploadsPerSec, rec.Retries429, rec.Dropped,
+		rec.P50MS, rec.P95MS, rec.P99MS, rec.Identical, *out)
+	if rec.Dropped > 0 {
+		fmt.Fprintln(os.Stderr, "bench4: uploads dropped — backpressure contract violated")
+		os.Exit(1)
+	}
+	if !rec.Identical {
+		fmt.Fprintln(os.Stderr, "bench4: served fleet artifact diverged from offline pipeline")
+		os.Exit(1)
+	}
+}
+
+// post sends one upload, honoring 429 backpressure by sleeping the server's
+// Retry-After hint and retrying. Only a non-429 failure drops the upload.
+func post(client *http.Client, base string, u upload) outcome {
+	var o outcome
+	start := time.Now()
+	for {
+		resp, err := client.Post(base+u.path, "application/octet-stream", bytes.NewReader(u.body))
+		if err != nil {
+			o.dropped = true
+			o.latency = time.Since(start)
+			return o
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			o.cacheHit = resp.Header.Get("X-Cache") == "hit"
+			o.latency = time.Since(start)
+			return o
+		case resp.StatusCode == http.StatusTooManyRequests:
+			o.retries++
+			secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if secs < 1 {
+				secs = 1
+			}
+			// Sleep a fraction of the hint with jitter-free backoff: the
+			// hint is a ceiling for politeness, not a mandatory stall.
+			time.Sleep(time.Duration(secs) * time.Second / 4)
+		default:
+			o.dropped = true
+			o.latency = time.Since(start)
+			return o
+		}
+	}
+}
+
+// fetchArtifact pulls a fleet artifact and reshapes it as an iotlan.Result
+// for checksumming.
+func fetchArtifact(client *http.Client, base, name string) (iotlan.Result, error) {
+	var r iotlan.Result
+	resp, err := client.Get(base + "/v1/artifacts/" + name)
+	if err != nil {
+		return r, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return r, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return r, fmt.Errorf("artifact %s: status %d: %s", name, resp.StatusCode, body)
+	}
+	var rep struct {
+		ID       string             `json:"id"`
+		Rendered string             `json:"rendered"`
+		Metrics  map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return r, err
+	}
+	return iotlan.Result{ID: rep.ID, Rendered: rep.Rendered, Metrics: rep.Metrics}, nil
+}
+
+// checksum mirrors iotbench's result hash: ID, rendition, sorted metrics.
+func checksum(r iotlan.Result) string {
+	h := sha256.New()
+	io.WriteString(h, r.ID)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, r.Rendered)
+	io.WriteString(h, "\x00")
+	keys := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%v\n", k, r.Metrics[k])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// percentileMS reads the q-th percentile from sorted latencies.
+func percentileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iotload:", err)
+	os.Exit(1)
+}
+
+func writeJSON(v interface{}, out string) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+	if out == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		fatal(err)
+	}
+}

@@ -21,9 +21,10 @@
 // -metrics writes the telemetry report (deterministic metrics snapshot +
 // wall-clock phase profile) as JSON. -trace streams the virtual-time event
 // trace: a .jsonl suffix selects JSON-lines, anything else the Chrome
-// trace_event format (load in chrome://tracing or Perfetto). -http serves
-// expvar (/debug/vars, including live metrics) and pprof (/debug/pprof/)
-// while the run executes — opt-in, nothing listens by default.
+// trace_event format (load in chrome://tracing or Perfetto). -http mounts
+// the shared operational surface from internal/serve — /metrics, /healthz,
+// expvar (/debug/vars, including live metrics), and pprof (/debug/pprof/) —
+// while the run executes; opt-in, nothing listens by default.
 package main
 
 import (
@@ -31,7 +32,6 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"sort"
 	"strings"
@@ -40,6 +40,7 @@ import (
 	"iotlan"
 	"iotlan/internal/chaos"
 	"iotlan/internal/obs"
+	"iotlan/internal/serve"
 )
 
 func main() {
@@ -102,20 +103,28 @@ func main() {
 		s.Trace = obs.NewTracer(traceOut, format)
 	}
 	if *httpAddr != "" {
-		// Live metrics ride on expvar's /debug/vars; the blank pprof import
-		// registers /debug/pprof/ on the same mux.
+		// One shared operational surface with iotserve: /metrics, /healthz,
+		// expvar, pprof — behind an http.Server with real timeouts instead
+		// of the unbounded zero-valued default.
 		expvar.Publish("iotlan_metrics", expvar.Func(func() interface{} {
 			if s.Lab == nil {
 				return nil
 			}
 			return s.Lab.Telemetry().Registry.SnapshotMap()
 		}))
+		mux := serve.DebugMux(serve.MetricsSource{Name: "lab", Lazy: func() *obs.Registry {
+			if s.Lab == nil {
+				return nil
+			}
+			return s.Lab.Telemetry().Registry
+		}})
+		httpSrv := serve.NewHTTPServer(*httpAddr, mux)
 		go func() {
-			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "http:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "telemetry endpoint on http://%s/debug/vars (pprof under /debug/pprof/)\n", *httpAddr)
+		fmt.Fprintf(os.Stderr, "telemetry endpoint on http://%s/metrics (expvar under /debug/vars, pprof under /debug/pprof/)\n", *httpAddr)
 	}
 
 	start := time.Now()

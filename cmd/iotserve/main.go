@@ -1,0 +1,93 @@
+// Command iotserve runs the crowdsourced capture-ingestion service: the
+// long-lived production shape of the paper's §6.3 pipeline, accepting
+// per-household uploads and serving per-household reports plus fleet-level
+// registry artifacts (Table 2 entropy/uniqueness over every ingested
+// household).
+//
+// Endpoints:
+//
+//	POST /v1/households/{id}/capture   libpcap body, streamed record by record
+//	POST /v1/ingest/inspector          JSONL batch in the inspector wire format
+//	GET  /v1/households/{id}/report    accumulated per-household analysis
+//	GET  /v1/artifacts/{name}          registry artifact over the fleet
+//	GET  /v1/fleet                     fleet summary
+//	GET  /metrics /healthz /debug/...  operational surface
+//
+// Uploads flow through a bounded worker pool behind a fixed-capacity queue;
+// a full queue answers 429 + Retry-After. Results are cached by content
+// hash. SIGINT/SIGTERM drains gracefully: queued and in-flight analyses
+// finish, new uploads get 503, then the listener shuts down.
+//
+// Usage:
+//
+//	iotserve [-addr :8080] [-workers N] [-queue 64] [-max-upload 67108864]
+//	         [-timeout 30s] [-retry-after 1s] [-cache 4096]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"iotlan/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "analysis workers (0 = one per CPU)")
+	queue := flag.Int("queue", 64, "ingestion queue capacity (full queue answers 429)")
+	maxUpload := flag.Int64("max-upload", 64<<20, "maximum upload body bytes (413 beyond)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-upload budget: queue wait + analysis")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	cache := flag.Int("cache", 4096, "content-hash result cache entries")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "graceful-shutdown budget on SIGTERM")
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueCapacity:  *queue,
+		MaxUploadBytes: *maxUpload,
+		RequestTimeout: *timeout,
+		RetryAfter:     *retryAfter,
+		CacheEntries:   *cache,
+	})
+	httpSrv := serve.NewHTTPServer(*addr, s.Mux())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iotserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("iotserve: listening on %s (workers=%d queue=%d)\n", ln.Addr(), *workers, *queue)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("iotserve: %s — draining\n", sig)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "iotserve:", err)
+		s.Close()
+		os.Exit(1)
+	}
+
+	// Drain first so /healthz flips and new uploads bounce with 503 while
+	// the queue empties; then stop the listener; then stop the pool.
+	s.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "iotserve: shutdown:", err)
+	}
+	s.Close()
+	fmt.Println("iotserve: drained, bye")
+}

@@ -1,0 +1,126 @@
+package inspector_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"iotlan/internal/analysis"
+	"iotlan/internal/inspector"
+	"iotlan/internal/pcap"
+)
+
+// TestWireRoundTripAnalysisIdentical: a dataset pushed through the upload
+// wire format must analyze byte-identically — Table 2 rendering, §7
+// mitigation sweep, and Appendix E identification accuracy all unchanged.
+func TestWireRoundTripAnalysisIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 42} {
+		ds := inspector.Generate(seed, 60)
+
+		var buf bytes.Buffer
+		if err := inspector.EncodeWire(&buf, ds.Households); err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		dec := inspector.NewWireDecoder(&buf)
+		back := &inspector.Dataset{}
+		for {
+			h, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("seed %d: decode: %v", seed, err)
+			}
+			back.Households = append(back.Households, h)
+		}
+		if back.Devices() != ds.Devices() {
+			t.Fatalf("seed %d: %d devices in, %d out", seed, ds.Devices(), back.Devices())
+		}
+
+		a := analysis.RenderEntropyTable(analysis.EntropyTable(ds))
+		b := analysis.RenderEntropyTable(analysis.EntropyTable(back))
+		if a != b {
+			t.Fatalf("seed %d: Table 2 changed across the wire:\n--- original\n%s--- round-trip\n%s", seed, a, b)
+		}
+
+		ma := analysis.RenderMitigationTable(analysis.MitigationTable(ds))
+		mb := analysis.RenderMitigationTable(analysis.MitigationTable(back))
+		if ma != mb {
+			t.Fatalf("seed %d: mitigation sweep changed across the wire", seed)
+		}
+
+		if ia, ib := inspector.Accuracy(ds), inspector.Accuracy(back); ia != ib {
+			t.Fatalf("seed %d: identification accuracy changed: %v vs %v", seed, ia, ib)
+		}
+	}
+}
+
+// TestWireEncodingDeterministic: same seed, same bytes — the encoder has no
+// map-order or timestamp nondeterminism.
+func TestWireEncodingDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := inspector.EncodeWire(&a, inspector.Generate(7, 25).Households); err != nil {
+		t.Fatal(err)
+	}
+	if err := inspector.EncodeWire(&b, inspector.Generate(7, 25).Households); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("wire encoding differs between identical generations")
+	}
+}
+
+// TestWireDecoderRejectsGarbage: malformed bodies fail cleanly, and a
+// household without an id is rejected.
+func TestWireDecoderRejectsGarbage(t *testing.T) {
+	for _, body := range []string{
+		"not json",
+		`{"id":"u1","devices":[{"id":"d","oui":"zz:zz:zz"}]}`,
+		`{"devices":[]}`,
+	} {
+		dec := inspector.NewWireDecoder(bytes.NewReader([]byte(body)))
+		if _, err := dec.Next(); err == nil || err == io.EOF {
+			t.Fatalf("body %q: want decode error, got %v", body, err)
+		}
+	}
+}
+
+// TestSyntheticCaptureStableAcrossWire: the synthetic capture derives only
+// from wire-visible fields, so generated and round-tripped households render
+// the same frames — and those frames survive the pcap container.
+func TestSyntheticCaptureStableAcrossWire(t *testing.T) {
+	ds := inspector.Generate(3, 10)
+	for _, h := range ds.Households {
+		orig := inspector.SyntheticCapture(h)
+		back, err := h.Wire().Household()
+		if err != nil {
+			t.Fatal(err)
+		}
+		round := inspector.SyntheticCapture(back)
+		if len(orig) != len(round) {
+			t.Fatalf("household %s: %d frames vs %d after wire round-trip", h.ID, len(orig), len(round))
+		}
+		for i := range orig {
+			if !bytes.Equal(orig[i].Data, round[i].Data) {
+				t.Fatalf("household %s: frame %d differs after wire round-trip", h.ID, i)
+			}
+		}
+		var buf bytes.Buffer
+		if err := pcap.WriteFile(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		got, err := pcap.ReadFile(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(orig) {
+			t.Fatalf("household %s: pcap round-trip lost frames", h.ID)
+		}
+		for i := range got {
+			p := got[i].Decode()
+			if p.Err != nil || !p.HasUDP {
+				t.Fatalf("household %s: frame %d not a clean UDP frame: %v", h.ID, i, p.Err)
+			}
+		}
+	}
+}

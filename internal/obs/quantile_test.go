@@ -1,0 +1,46 @@
+package obs
+
+import "testing"
+
+// TestHistogramQuantile: interpolated quantiles land inside the right
+// bucket, the +Inf bucket clamps to the highest finite bound, and the edge
+// cases (empty histogram, out-of-range q) are defined.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_ms", []float64{10, 100, 1000})
+
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+
+	// 80 observations ≤10, 15 in (10,100], 5 in (100,1000].
+	for i := 0; i < 80; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 15; i++ {
+		h.Observe(50)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(500)
+	}
+
+	if p50 := h.Quantile(0.50); p50 <= 0 || p50 > 10 {
+		t.Fatalf("p50 = %v, want within (0, 10]", p50)
+	}
+	if p90 := h.Quantile(0.90); p90 <= 10 || p90 > 100 {
+		t.Fatalf("p90 = %v, want within (10, 100]", p90)
+	}
+	if p99 := h.Quantile(0.99); p99 <= 100 || p99 > 1000 {
+		t.Fatalf("p99 = %v, want within (100, 1000]", p99)
+	}
+	if p0, p1 := h.Quantile(-1), h.Quantile(2); p0 < 0 || p1 > 1000 {
+		t.Fatalf("clamped quantiles out of range: %v %v", p0, p1)
+	}
+
+	// Everything past the top finite bound clamps to it.
+	over := r.Histogram("over", []float64{1})
+	over.Observe(99)
+	if got := over.Quantile(0.9); got != 1 {
+		t.Fatalf("+Inf bucket quantile = %v, want 1 (top finite bound)", got)
+	}
+}

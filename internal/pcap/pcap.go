@@ -86,9 +86,28 @@ func WriteFile(w io.Writer, records []Record) error {
 	return bw.Flush()
 }
 
-// ReadFile parses a libpcap file produced by WriteFile (or tcpdump with
-// microsecond timestamps and Ethernet framing).
-func ReadFile(r io.Reader) ([]Record, error) {
+// DefaultMaxRecordBytes bounds a single record's captured length: larger
+// declared lengths are rejected as implausible before any allocation, so a
+// corrupt (or hostile) record header can never force a huge allocation.
+const DefaultMaxRecordBytes = 1 << 20
+
+// Reader streams records out of a libpcap stream one at a time, so callers
+// — most importantly the iotserve upload path — never hold a whole capture
+// body in memory at once. Per-record allocation is bounded: Next allocates
+// exactly the record's captured length, and declared lengths above the
+// configured maximum are rejected before allocating.
+//
+// Reader errors are sticky: after any error (including io.EOF) every later
+// Next call returns the same error.
+type Reader struct {
+	r         io.Reader
+	maxRecord uint32
+	err       error
+}
+
+// NewReader validates the 24-byte global header (magic, link type) and
+// returns a streaming reader positioned at the first record.
+func NewReader(r io.Reader) (*Reader, error) {
 	var hdr [24]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("pcap: short header: %w", err)
@@ -100,29 +119,70 @@ func ReadFile(r io.Reader) ([]Record, error) {
 	if lt := binary.LittleEndian.Uint32(hdr[20:24]); lt != linkEN10MB {
 		return nil, fmt.Errorf("pcap: unsupported link type %d", lt)
 	}
-	var records []Record
+	return &Reader{r: r, maxRecord: DefaultMaxRecordBytes}, nil
+}
+
+// SetMaxRecordBytes tightens (or loosens) the per-record capture-length
+// bound. Zero restores the default.
+func (rd *Reader) SetMaxRecordBytes(n uint32) {
+	if n == 0 {
+		n = DefaultMaxRecordBytes
+	}
+	rd.maxRecord = n
+}
+
+// Next returns the next record, or io.EOF cleanly at end of stream. A
+// truncated record header or body, or an implausible declared length, is an
+// error (never silently dropped — the serving layer turns these into 400s).
+func (rd *Reader) Next() (Record, error) {
+	if rd.err != nil {
+		return Record{}, rd.err
+	}
 	var rec [16]byte
+	if _, err := io.ReadFull(rd.r, rec[:]); err != nil {
+		if err == io.EOF {
+			rd.err = io.EOF
+			return Record{}, io.EOF
+		}
+		rd.err = fmt.Errorf("pcap: short record header: %w", err)
+		return Record{}, rd.err
+	}
+	sec := binary.LittleEndian.Uint32(rec[0:4])
+	usec := binary.LittleEndian.Uint32(rec[4:8])
+	capLen := binary.LittleEndian.Uint32(rec[8:12])
+	if capLen > rd.maxRecord {
+		rd.err = fmt.Errorf("pcap: implausible capture length %d", capLen)
+		return Record{}, rd.err
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(rd.r, data); err != nil {
+		rd.err = fmt.Errorf("pcap: short record body: %w", err)
+		return Record{}, rd.err
+	}
+	return Record{
+		Time: time.Unix(int64(sec), int64(usec)*1000).UTC(),
+		Data: data,
+	}, nil
+}
+
+// ReadFile parses a libpcap file produced by WriteFile (or tcpdump with
+// microsecond timestamps and Ethernet framing). It is a convenience wrapper
+// over Reader that collects every record.
+func ReadFile(r io.Reader) ([]Record, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var records []Record
 	for {
-		if _, err := io.ReadFull(r, rec[:]); err != nil {
-			if err == io.EOF {
-				return records, nil
-			}
-			return nil, fmt.Errorf("pcap: short record header: %w", err)
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return records, nil
 		}
-		sec := binary.LittleEndian.Uint32(rec[0:4])
-		usec := binary.LittleEndian.Uint32(rec[4:8])
-		capLen := binary.LittleEndian.Uint32(rec[8:12])
-		if capLen > 1<<20 {
-			return nil, fmt.Errorf("pcap: implausible capture length %d", capLen)
+		if err != nil {
+			return nil, err
 		}
-		data := make([]byte, capLen)
-		if _, err := io.ReadFull(r, data); err != nil {
-			return nil, fmt.Errorf("pcap: short record body: %w", err)
-		}
-		records = append(records, Record{
-			Time: time.Unix(int64(sec), int64(usec)*1000).UTC(),
-			Data: data,
-		})
+		records = append(records, rec)
 	}
 }
 

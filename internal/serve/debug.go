@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"iotlan/internal/obs"
+)
+
+// This file is the repo's single operational HTTP surface. iotserve mounts
+// it on the service mux; iotrepro's -http flag mounts the same endpoints
+// (replacing its earlier ad-hoc DefaultServeMux listener, which had no
+// read/write timeouts and a second HTTP surface of its own):
+//
+//	/metrics      labeled obs registries as deterministic JSON
+//	/healthz      liveness + drain state
+//	/debug/vars   expvar (Go runtime counters + published registries)
+//	/debug/pprof  CPU/heap/goroutine profiles
+
+// MetricsSource names one obs registry for /metrics. Registry covers the
+// common case; Lazy defers resolution to request time for registries that
+// do not exist yet when the mux is built (iotrepro's lab telemetry is only
+// created once the run starts). A source resolving to nil renders as null.
+type MetricsSource struct {
+	Name     string
+	Registry *obs.Registry
+	Lazy     func() *obs.Registry
+}
+
+func (src MetricsSource) resolve() *obs.Registry {
+	if src.Registry != nil {
+		return src.Registry
+	}
+	if src.Lazy != nil {
+		return src.Lazy()
+	}
+	return nil
+}
+
+// DebugMux returns a fresh mux carrying only the operational endpoints —
+// what iotrepro -http serves.
+func DebugMux(sources ...MetricsSource) *http.ServeMux {
+	mux := http.NewServeMux()
+	registerDebug(mux, nil, sources...)
+	return mux
+}
+
+// RegisterDebug mounts the operational endpoints onto an existing mux. The
+// server, when non-nil, contributes its own registry and drain state.
+func RegisterDebug(mux *http.ServeMux, s *Server, extra ...MetricsSource) {
+	registerDebug(mux, s, extra...)
+}
+
+var expvarPublish sync.Once
+
+func registerDebug(mux *http.ServeMux, s *Server, extra ...MetricsSource) {
+	sources := append([]MetricsSource(nil), extra...)
+	if s != nil {
+		sources = append([]MetricsSource{{Name: "serve", Registry: s.reg}}, sources...)
+		// expvar registration is process-global and panics on duplicates;
+		// publish the first server only.
+		expvarPublish.Do(func() {
+			expvar.Publish("iotlan_serve_metrics", expvar.Func(func() interface{} {
+				return s.reg.SnapshotMap()
+			}))
+		})
+	}
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		out := make(map[string]json.RawMessage, len(sources)+1)
+		for _, src := range sources {
+			if reg := src.resolve(); reg != nil {
+				out[src.Name] = json.RawMessage(reg.Snapshot())
+			} else {
+				out[src.Name] = json.RawMessage("null")
+			}
+		}
+		if s != nil {
+			// Interpolated upload-latency quantiles, derived from the
+			// histogram buckets so operators don't have to.
+			out["serve_latency_quantiles_ms"] = mustJSON(map[string]float64{
+				"p50": s.mLatency.Quantile(0.50),
+				"p95": s.mLatency.Quantile(0.95),
+				"p99": s.mLatency.Quantile(0.99),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		status := http.StatusOK
+		state := "ok"
+		if s != nil && s.Draining() {
+			status = http.StatusServiceUnavailable
+			state = "draining"
+		}
+		writeJSON(w, status, mustJSON(struct {
+			Status string `json:"status"`
+		}{state}))
+	})
+
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// NewHTTPServer wraps a handler in an http.Server with sane operational
+// timeouts — the fix for the original iotrepro -http listener, which used
+// http.ListenAndServe's zero-valued server (no read-header, read, write, or
+// idle bounds, so one stalled client could hold a connection forever).
+// Write and idle bounds stay generous: capture uploads legitimately stream
+// for a while under load.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}

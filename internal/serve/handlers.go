@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Mux returns the service's HTTP surface:
+//
+//	POST /v1/households/{id}/capture   streaming libpcap upload
+//	POST /v1/ingest/inspector          batch upload, inspector wire format
+//	GET  /v1/households/{id}/report    accumulated per-household report
+//	GET  /v1/artifacts/{name}          registry artifact over the fleet
+//	GET  /v1/fleet                     fleet summary
+//
+// plus the operational endpoints from RegisterDebug (/metrics, /healthz,
+// /debug/vars, /debug/pprof/*) — one HTTP surface for data and ops.
+func (s *Server) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/households/{id}/capture", s.handleUpload("capture"))
+	mux.HandleFunc("POST /v1/ingest/inspector", s.handleUpload("inspector"))
+	mux.HandleFunc("GET /v1/households/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/artifacts/{name}", s.handleArtifact)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
+	RegisterDebug(mux, s)
+	return mux
+}
+
+// handleUpload is the shared ingestion front end: backpressure first (the
+// queue-full check happens before a single body byte is consumed), then the
+// worker streams the body, then the handler relays the worker's verdict.
+func (s *Server) handleUpload(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		household := r.PathValue("id")
+		if kind == "capture" && household == "" {
+			writeJSON(w, http.StatusBadRequest, errorBody("missing household id"))
+			return
+		}
+		if s.draining.Load() {
+			s.reg.Counter("serve_upload_rejected", "reason", "draining").Inc()
+			writeJSON(w, http.StatusServiceUnavailable, errorBody("server draining"))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		j := &job{
+			kind:      kind,
+			household: household,
+			body:      http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes),
+			ctx:       ctx,
+			done:      make(chan jobResult, 1),
+		}
+		if !s.enqueue(j) {
+			s.reg.Counter("serve_upload_rejected", "reason", "queue_full").Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+			writeJSON(w, http.StatusTooManyRequests, errorBody("ingestion queue full, retry later"))
+			return
+		}
+		select {
+		case res := <-j.done:
+			if res.cacheHit {
+				w.Header().Set("X-Cache", "hit")
+			} else if res.status == http.StatusOK {
+				w.Header().Set("X-Cache", "miss")
+			}
+			s.mLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+			writeJSON(w, res.status, res.body)
+		case <-ctx.Done():
+			// The job stays queued; the worker will see the expired context
+			// (or fail reading the now-closed body) and discard it.
+			s.reg.Counter("serve_upload_rejected", "reason", "timeout").Inc()
+			writeJSON(w, http.StatusServiceUnavailable, errorBody("analysis timed out"))
+		}
+	}
+}
+
+// handleReport serves a household's accumulated analysis.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.report(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody("unknown household"))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleArtifact computes a registry artifact over the ingested fleet.
+// Artifacts whose pipelines need the offline lab answer 409.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	body, err := s.RunFleetArtifact(r.PathValue("name"))
+	if err != nil {
+		status := http.StatusNotFound
+		if errors.Is(err, ErrOfflineArtifact) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, errorBody(err.Error()))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleFleet serves the fleet summary.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.fleet())
+}
+
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

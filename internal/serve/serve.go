@@ -1,0 +1,645 @@
+// Package serve is the crowdsourced ingestion-and-analysis service behind
+// cmd/iotserve: the production shape the paper's §6.3 pipeline implies (IoT
+// Inspector collected 13,487 devices across 3,860 households from continuous
+// real-user uploads) built on this repo's analysis engine.
+//
+// The service accepts per-household capture uploads (streaming libpcap
+// bodies — decoded record by record via pcap.Reader, never buffered whole)
+// and batch uploads in the inspector wire format (JSON lines, decoded
+// streamingly too). Every upload flows through a bounded worker pool fed by
+// a fixed-capacity queue: when the queue is full the server sheds load with
+// 429 + Retry-After instead of buffering unboundedly. Results are cached by
+// content hash, so a re-uploaded capture is served without recompute. Fleet
+// aggregates (Table 2 entropy/uniqueness over every ingested household) are
+// recomputed from the registry's artifacts on demand and are byte-identical
+// to the offline Study pipeline for the same household set — concurrency
+// never changes output bytes.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iotlan"
+	"iotlan/internal/analysis"
+	"iotlan/internal/inspector"
+	"iotlan/internal/obs"
+	"iotlan/internal/pcap"
+)
+
+// Config sizes the service. The zero value is usable: withDefaults fills
+// every field.
+type Config struct {
+	// Workers is the analysis worker pool size (< 1 = one per CPU, via the
+	// engine's convention). Worker count never changes output bytes.
+	Workers int
+	// QueueCapacity bounds the ingestion queue; a full queue answers 429.
+	QueueCapacity int
+	// MaxUploadBytes bounds one upload body (413 beyond it).
+	MaxUploadBytes int64
+	// MaxRecordBytes bounds one pcap record's captured length (400 beyond).
+	MaxRecordBytes uint32
+	// RequestTimeout bounds queue wait + analysis for one upload (503).
+	RequestTimeout time.Duration
+	// RetryAfter is the backoff hint attached to 429 responses.
+	RetryAfter time.Duration
+	// CacheEntries bounds the content-hash result cache; at capacity new
+	// results are served but not retained.
+	CacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 0 // engine convention: resolved per call
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 64
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	if c.MaxRecordBytes == 0 {
+		c.MaxRecordBytes = pcap.DefaultMaxRecordBytes
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	return c
+}
+
+// householdState accumulates one household's ingested data. Capture counters
+// only ever add, so any arrival order of the same upload set produces the
+// same totals; the inspector record is replaced whole per upload.
+type householdState struct {
+	captures    int
+	frames      int
+	localFrames int
+	protocols   map[string]int
+	sources     map[string]bool
+	exposed     int // exposure cells filled across all captures (latest union)
+	inspector   *inspector.Household
+}
+
+// job is one queued upload. The body is the still-unread request stream:
+// backpressure applies before a byte of the upload is consumed, and the
+// worker is the only reader.
+type job struct {
+	kind      string // "capture" | "inspector"
+	household string
+	body      io.Reader
+	ctx       context.Context
+	done      chan jobResult
+}
+
+// jobResult is what the waiting handler writes back to the client.
+type jobResult struct {
+	status   int
+	body     []byte
+	cacheHit bool
+}
+
+// Server is the ingestion service. Create with New, attach Mux to an HTTP
+// server, and stop with Drain + Close.
+type Server struct {
+	cfg      Config
+	reg      *obs.Registry
+	queue    chan *job
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	draining atomic.Bool
+
+	mu           sync.Mutex
+	households   map[string]*householdState
+	cache        map[[sha256.Size]byte][]byte
+	fleetVersion uint64
+	fleetMemo    map[string]fleetEntry
+
+	mQueueDepth *obs.Gauge
+	mLatency    *obs.Histogram
+
+	// processHook, when set (tests only), runs in the worker before each
+	// job — a gate for deterministic queue-full and drain scenarios.
+	processHook func(*job)
+}
+
+type fleetEntry struct {
+	version uint64
+	body    []byte
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:        cfg,
+		reg:        obs.NewRegistry(),
+		queue:      make(chan *job, cfg.QueueCapacity),
+		quit:       make(chan struct{}),
+		households: make(map[string]*householdState),
+		cache:      make(map[[sha256.Size]byte][]byte),
+		fleetMemo:  make(map[string]fleetEntry),
+	}
+	s.mQueueDepth = s.reg.Gauge("serve_queue_depth")
+	s.mLatency = s.reg.Histogram("serve_latency_ms",
+		[]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000})
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = defaultWorkers()
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Registry exposes the service's operational metrics (served at /metrics).
+// Unlike the simulator registries, these values are wall-clock operational
+// data — latency histograms, queue depths — and are not expected to be
+// deterministic across runs.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Drain marks the server as draining: new uploads are refused with 503
+// while queued and in-flight analyses run to completion. Safe to call more
+// than once.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close drains (if not already draining), lets the workers finish every
+// queued job, and stops the pool. After Close no job is processed.
+func (s *Server) Close() {
+	s.Drain()
+	select {
+	case <-s.quit:
+	default:
+		close(s.quit)
+	}
+	s.wg.Wait()
+}
+
+// worker pops jobs until quit, then finishes whatever is still queued — the
+// graceful-drain contract: an accepted upload is always analyzed.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.process(j)
+		case <-s.quit:
+			for {
+				select {
+				case j := <-s.queue:
+					s.process(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// enqueue offers a job to the queue without blocking. False means the queue
+// is full — the caller sheds the upload with 429.
+func (s *Server) enqueue(j *job) bool {
+	if s.draining.Load() {
+		return false
+	}
+	select {
+	case s.queue <- j:
+		s.mQueueDepth.Set(int64(len(s.queue)))
+		return true
+	default:
+		return false
+	}
+}
+
+// process runs one upload end to end: stream-decode, hash, cache lookup,
+// analyze, publish.
+func (s *Server) process(j *job) {
+	s.mQueueDepth.Set(int64(len(s.queue)))
+	if s.processHook != nil {
+		s.processHook(j)
+	}
+	if j.ctx != nil && j.ctx.Err() != nil {
+		// The uploader is gone (timeout or disconnect); its body is no
+		// longer readable, so skip the work entirely.
+		s.reg.Counter("serve_jobs_cancelled", "kind", j.kind).Inc()
+		j.done <- jobResult{status: http.StatusServiceUnavailable, body: errorBody("upload cancelled")}
+		return
+	}
+	var res jobResult
+	switch j.kind {
+	case "capture":
+		res = s.processCapture(j)
+	case "inspector":
+		res = s.processInspector(j)
+	}
+	s.reg.Counter("serve_jobs_done", "kind", j.kind).Inc()
+	j.done <- res
+}
+
+// processCapture streams a libpcap body: records decode one at a time with
+// bounded per-record allocation while the raw bytes feed the content hash.
+// A malformed or truncated body is a 400; a body over MaxUploadBytes is a
+// 413 (the handler wrapped it in http.MaxBytesReader). On a content-hash
+// hit the analysis stage is skipped and the cached report served.
+func (s *Server) processCapture(j *job) jobResult {
+	h := sha256.New()
+	rd, err := pcap.NewReader(io.TeeReader(j.body, h))
+	if err != nil {
+		return s.uploadError(err, "capture")
+	}
+	rd.SetMaxRecordBytes(s.cfg.MaxRecordBytes)
+	var records []pcap.Record
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return s.uploadError(err, "capture")
+		}
+		records = append(records, rec)
+	}
+	var digest [sha256.Size]byte
+	h.Sum(digest[:0])
+	if body, ok := s.cacheGet(digest); ok {
+		return jobResult{status: http.StatusOK, body: body, cacheHit: true}
+	}
+	body := s.analyzeCapture(j.household, records)
+	s.cachePut(digest, body)
+	s.reg.Counter("serve_uploads", "kind", "capture").Inc()
+	s.reg.Counter("serve_upload_frames").Add(uint64(len(records)))
+	return jobResult{status: http.StatusOK, body: body}
+}
+
+// processInspector streams a JSONL wire-format body, replacing each
+// household's crowdsourced record and bumping the fleet version.
+func (s *Server) processInspector(j *job) jobResult {
+	h := sha256.New()
+	dec := inspector.NewWireDecoder(io.TeeReader(j.body, h))
+	var hhs []*inspector.Household
+	for {
+		hh, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return s.uploadError(err, "inspector")
+		}
+		hhs = append(hhs, hh)
+	}
+	var digest [sha256.Size]byte
+	h.Sum(digest[:0])
+	if body, ok := s.cacheGet(digest); ok {
+		// Ingest is idempotent per household ID, so a duplicate batch needs
+		// no re-ingest either: the fleet already contains these households.
+		return jobResult{status: http.StatusOK, body: body, cacheHit: true}
+	}
+	body := s.ingest(hhs)
+	s.cachePut(digest, body)
+	s.reg.Counter("serve_uploads", "kind", "inspector").Inc()
+	return jobResult{status: http.StatusOK, body: body}
+}
+
+// uploadError classifies a streaming-decode failure: body-limit hits are
+// 413, everything else (bad magic, truncation, implausible lengths, bad
+// JSON) is a 400.
+func (s *Server) uploadError(err error, kind string) jobResult {
+	var maxBytes *http.MaxBytesError
+	if errors.As(err, &maxBytes) {
+		s.reg.Counter("serve_upload_rejected", "reason", "oversized").Inc()
+		return jobResult{status: http.StatusRequestEntityTooLarge,
+			body: errorBody(fmt.Sprintf("upload exceeds %d bytes", maxBytes.Limit))}
+	}
+	s.reg.Counter("serve_upload_rejected", "reason", "malformed").Inc()
+	return jobResult{status: http.StatusBadRequest, body: errorBody(fmt.Sprintf("malformed %s upload: %v", kind, err))}
+}
+
+// captureReport is the JSON answer to a capture upload (and the capture
+// half of the household report).
+type captureReport struct {
+	Household   string         `json:"household"`
+	Frames      int            `json:"frames"`
+	LocalFrames int            `json:"local_frames"`
+	Protocols   map[string]int `json:"protocols"`
+	Sources     int            `json:"sources"`
+	ExposedAt   int            `json:"exposed_cells"`
+}
+
+// analyzeCapture decodes the records once (the same decode-once index the
+// offline engine uses), derives the per-household summary, folds it into
+// the household state, and renders the upload report.
+func (s *Server) analyzeCapture(household string, records []pcap.Record) []byte {
+	idx := pcap.NewIndex(records, 1)
+	protocols := make(map[string]int, 4)
+	for _, name := range idx.Protocols() {
+		protocols[name] = len(idx.ByProto(name))
+	}
+	sources := make(map[string]bool)
+	for _, p := range idx.Packets() {
+		if p.HasEth {
+			sources[p.Eth.Src.String()] = true
+		}
+	}
+	exposure := analysis.BuildExposure(idx.Records)
+	exposed := 0
+	for _, proto := range analysis.ExposureRows {
+		for _, f := range analysis.ExposureFields {
+			if exposure.Exposed(proto, f) {
+				exposed++
+			}
+		}
+	}
+	rep := captureReport{
+		Household:   household,
+		Frames:      idx.Len(),
+		LocalFrames: len(idx.Local()),
+		Protocols:   protocols,
+		Sources:     len(sources),
+		ExposedAt:   exposed,
+	}
+
+	s.mu.Lock()
+	st := s.household(household)
+	st.captures++
+	st.frames += rep.Frames
+	st.localFrames += rep.LocalFrames
+	for k, v := range protocols {
+		st.protocols[k] += v
+	}
+	for src := range sources {
+		st.sources[src] = true
+	}
+	if exposed > st.exposed {
+		st.exposed = exposed
+	}
+	s.mu.Unlock()
+
+	return mustJSON(rep)
+}
+
+// ingest replaces the uploaded households' crowdsourced records and
+// invalidates the fleet memo.
+func (s *Server) ingest(hhs []*inspector.Household) []byte {
+	devices := 0
+	s.mu.Lock()
+	for _, hh := range hhs {
+		st := s.household(hh.ID)
+		st.inspector = hh
+		devices += len(hh.Devices)
+	}
+	s.fleetVersion++
+	s.mu.Unlock()
+	ids := make([]string, len(hhs))
+	for i, hh := range hhs {
+		ids[i] = hh.ID
+	}
+	sort.Strings(ids)
+	return mustJSON(struct {
+		Households []string `json:"households"`
+		Devices    int      `json:"devices"`
+	}{ids, devices})
+}
+
+// household returns (creating if needed) a household's state. Caller holds mu.
+func (s *Server) household(id string) *householdState {
+	st, ok := s.households[id]
+	if !ok {
+		st = &householdState{protocols: make(map[string]int), sources: make(map[string]bool)}
+		s.households[id] = st
+	}
+	return st
+}
+
+// cacheGet looks a digest up in the bounded result cache.
+func (s *Server) cacheGet(digest [sha256.Size]byte) ([]byte, bool) {
+	s.mu.Lock()
+	body, ok := s.cache[digest]
+	s.mu.Unlock()
+	if ok {
+		s.reg.Counter("serve_cache", "result", "hit").Inc()
+		return body, true
+	}
+	s.reg.Counter("serve_cache", "result", "miss").Inc()
+	return nil, false
+}
+
+// cachePut stores a result unless the cache is at capacity (new results are
+// still served, just not retained — the bound keeps a hostile uploader from
+// growing the cache without limit).
+func (s *Server) cachePut(digest [sha256.Size]byte, body []byte) {
+	s.mu.Lock()
+	if len(s.cache) < s.cfg.CacheEntries {
+		s.cache[digest] = body
+	} else {
+		s.reg.Counter("serve_cache_full").Inc()
+	}
+	s.mu.Unlock()
+}
+
+// fleetSnapshot assembles the current fleet as an inspector dataset, with
+// households in sorted-ID order — ingestion order (and therefore upload
+// concurrency) never reaches the analysis. The households themselves are
+// shared immutably with the ingest path (replaced whole, never mutated).
+func (s *Server) fleetSnapshot() (uint64, *inspector.Dataset) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.households))
+	for id, st := range s.households {
+		if st.inspector != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	ds := &inspector.Dataset{Households: make([]*inspector.Household, len(ids))}
+	for i, id := range ids {
+		ds.Households[i] = s.households[id].inspector
+	}
+	return s.fleetVersion, ds
+}
+
+// artifactReport is the JSON rendering of one registry artifact computed
+// over the ingested fleet.
+type artifactReport struct {
+	Name       string             `json:"name"`
+	PaperRef   string             `json:"paper_ref"`
+	Kind       string             `json:"kind"`
+	Households int                `json:"households"`
+	ID         string             `json:"id"`
+	Rendered   string             `json:"rendered"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// RunFleetArtifact computes a registry artifact over every ingested
+// household. Only artifacts whose pipelines the serving layer holds can run:
+// the crowdsourced (NeedInspector) artifacts and the lab-independent ones.
+// Artifacts needing the offline lab pipelines return ErrOfflineArtifact.
+// Results are memoized per fleet version (hit/miss metrics under
+// serve_fleet_cache), and for a fixed household set they are byte-identical
+// to the offline Study pipeline's output regardless of upload concurrency
+// or worker count.
+func (s *Server) RunFleetArtifact(name string) ([]byte, error) {
+	a, ok := iotlan.ArtifactByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown artifact %q", name)
+	}
+	if a.Needs&^iotlan.NeedInspector != 0 {
+		return nil, fmt.Errorf("%w: artifact %q needs pipelines %s", ErrOfflineArtifact, a.Name, a.Needs)
+	}
+	version, ds := s.fleetSnapshot()
+	s.mu.Lock()
+	memo, ok := s.fleetMemo[a.Name]
+	s.mu.Unlock()
+	if ok && memo.version == version {
+		s.reg.Counter("serve_fleet_cache", "result", "hit").Inc()
+		return memo.body, nil
+	}
+	s.reg.Counter("serve_fleet_cache", "result", "miss").Inc()
+
+	// A study with the fleet dataset pre-installed runs the registered
+	// artifact exactly as the offline pipeline would; RunInspector is a
+	// no-op because the corpus is already present.
+	study := iotlan.New(0, iotlan.WithWorkers(s.cfg.Workers), iotlan.WithHouseholds(len(ds.Households)))
+	study.Inspector = ds
+	res, err := study.RunArtifact(a.Name)
+	if err != nil {
+		return nil, err
+	}
+	body := mustJSON(artifactReport{
+		Name:       a.Name,
+		PaperRef:   a.PaperRef,
+		Kind:       a.Kind,
+		Households: len(ds.Households),
+		ID:         res.ID,
+		Rendered:   res.Rendered,
+		Metrics:    res.Metrics,
+	})
+	s.mu.Lock()
+	s.fleetMemo[a.Name] = fleetEntry{version: version, body: body}
+	s.mu.Unlock()
+	return body, nil
+}
+
+// ErrOfflineArtifact marks registry artifacts that need the offline lab
+// pipelines (passive capture, scans, vuln audit, app runs) and therefore
+// cannot be computed from crowdsourced uploads alone.
+var ErrOfflineArtifact = errors.New("artifact requires offline lab pipelines")
+
+// householdReport is the JSON answer to GET /v1/households/{id}/report.
+type householdReport struct {
+	Household   string            `json:"household"`
+	Captures    int               `json:"captures"`
+	Frames      int               `json:"frames"`
+	LocalFrames int               `json:"local_frames"`
+	Protocols   map[string]int    `json:"protocols"`
+	Sources     int               `json:"sources"`
+	ExposedAt   int               `json:"exposed_cells"`
+	Inspector   *inspectorSummary `json:"inspector,omitempty"`
+}
+
+type inspectorSummary struct {
+	Devices     int            `json:"devices"`
+	Identifiers map[string]int `json:"identifiers"`
+	Identified  int            `json:"identified_vendors"`
+}
+
+// report renders a household's accumulated state, or ok=false if the
+// household has never uploaded.
+func (s *Server) report(id string) ([]byte, bool) {
+	s.mu.Lock()
+	st, ok := s.households[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	rep := householdReport{
+		Household:   id,
+		Captures:    st.captures,
+		Frames:      st.frames,
+		LocalFrames: st.localFrames,
+		Protocols:   make(map[string]int, len(st.protocols)),
+		Sources:     len(st.sources),
+		ExposedAt:   st.exposed,
+	}
+	for k, v := range st.protocols {
+		rep.Protocols[k] = v
+	}
+	hh := st.inspector
+	s.mu.Unlock()
+
+	if hh != nil {
+		ds := &inspector.Dataset{Households: []*inspector.Household{hh}}
+		ids := analysis.ExtractIdentifiers(ds, 1)
+		sum := &inspectorSummary{Devices: len(hh.Devices), Identifiers: map[string]int{}}
+		for _, d := range hh.Devices {
+			for typ, vals := range ids.Of(d) {
+				sum.Identifiers[typ.String()] += len(vals)
+			}
+			if inspector.Identify(d).Vendor != "unknown" {
+				sum.Identified++
+			}
+		}
+		rep.Inspector = sum
+	}
+	return mustJSON(rep), true
+}
+
+// fleetSummary is the JSON answer to GET /v1/fleet.
+type fleetSummary struct {
+	Households          int    `json:"households"`
+	InspectorHouseholds int    `json:"inspector_households"`
+	Devices             int    `json:"devices"`
+	Frames              int    `json:"frames"`
+	Version             uint64 `json:"version"`
+}
+
+// fleet summarizes everything ingested so far.
+func (s *Server) fleet() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum := fleetSummary{Households: len(s.households), Version: s.fleetVersion}
+	for _, st := range s.households {
+		sum.Frames += st.frames
+		if st.inspector != nil {
+			sum.InspectorHouseholds++
+			sum.Devices += len(st.inspector.Devices)
+		}
+	}
+	return mustJSON(sum)
+}
+
+func mustJSON(v interface{}) []byte {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil { // unreachable: report types always marshal
+		return []byte("{}")
+	}
+	return append(b, '\n')
+}
+
+func errorBody(msg string) []byte {
+	return mustJSON(struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+// defaultWorkers mirrors the engine convention: unset means one per CPU.
+func defaultWorkers() int { return runtime.NumCPU() }
