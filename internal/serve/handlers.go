@@ -50,7 +50,7 @@ func (s *Server) handleUpload(kind string) http.HandlerFunc {
 		j := &job{
 			kind:      kind,
 			household: household,
-			body:      http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes),
+			body:      &ctxReader{ctx: ctx, r: http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)},
 			ctx:       ctx,
 			done:      make(chan jobResult, 1),
 		}
@@ -60,21 +60,20 @@ func (s *Server) handleUpload(kind string) http.HandlerFunc {
 			writeJSON(w, http.StatusTooManyRequests, errorBody("ingestion queue full, retry later"))
 			return
 		}
-		select {
-		case res := <-j.done:
-			if res.cacheHit {
-				w.Header().Set("X-Cache", "hit")
-			} else if res.status == http.StatusOK {
-				w.Header().Set("X-Cache", "miss")
-			}
-			s.mLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
-			writeJSON(w, res.status, res.body)
-		case <-ctx.Done():
-			// The job stays queued; the worker will see the expired context
-			// (or fail reading the now-closed body) and discard it.
-			s.reg.Counter("serve_upload_rejected", "reason", "timeout").Inc()
-			writeJSON(w, http.StatusServiceUnavailable, errorBody("analysis timed out"))
+		// Always wait for the worker's verdict: the worker holds the request
+		// body and the MaxBytesReader-wrapped ResponseWriter, which net/http
+		// forbids touching after the handler returns. A timeout doesn't
+		// abandon the job — it cancels ctx, which the worker observes before
+		// processing (queue pre-check) or mid-stream (ctxReader), answering
+		// 503 promptly.
+		res := <-j.done
+		if res.cacheHit {
+			w.Header().Set("X-Cache", "hit")
+		} else if res.status == http.StatusOK {
+			w.Header().Set("X-Cache", "miss")
 		}
+		s.mLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		writeJSON(w, res.status, res.body)
 	}
 }
 

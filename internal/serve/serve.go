@@ -49,7 +49,9 @@ type Config struct {
 	MaxUploadBytes int64
 	// MaxRecordBytes bounds one pcap record's captured length (400 beyond).
 	MaxRecordBytes uint32
-	// RequestTimeout bounds queue wait + analysis for one upload (503).
+	// RequestTimeout bounds queue wait + body streaming for one upload.
+	// On expiry the worker abandons the upload and answers 503; analysis of
+	// a fully-streamed body is never interrupted mid-flight.
 	RequestTimeout time.Duration
 	// RetryAfter is the backoff hint attached to 429 responses.
 	RetryAfter time.Duration
@@ -114,6 +116,22 @@ type jobResult struct {
 	cacheHit bool
 }
 
+// ctxReader aborts a body stream once the request context is cancelled, so
+// a worker never keeps reading an upload whose deadline has passed — it
+// fails fast with the context error and the handler (which always waits for
+// the worker's verdict) relays the 503.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
+}
+
 // Server is the ingestion service. Create with New, attach Mux to an HTTP
 // server, and stop with Drain + Close.
 type Server struct {
@@ -123,6 +141,12 @@ type Server struct {
 	quit     chan struct{}
 	wg       sync.WaitGroup
 	draining atomic.Bool
+	// drainMu orders enqueue against Close: enqueue holds the read lock
+	// across its draining check + queue send, and Close sets the drain flag
+	// under the write lock before closing quit. Any job accepted before the
+	// flag flips is therefore already in the queue when the workers start
+	// their final drain sweep — an accepted upload is always processed.
+	drainMu sync.RWMutex
 
 	mu           sync.Mutex
 	households   map[string]*householdState
@@ -186,7 +210,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Close drains (if not already draining), lets the workers finish every
 // queued job, and stops the pool. After Close no job is processed.
 func (s *Server) Close() {
-	s.Drain()
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
 	select {
 	case <-s.quit:
 	default:
@@ -217,8 +243,12 @@ func (s *Server) worker() {
 }
 
 // enqueue offers a job to the queue without blocking. False means the queue
-// is full — the caller sheds the upload with 429.
+// is full (the caller sheds the upload with 429) or the server is draining.
+// The read lock spans the draining check and the send so a job can never
+// slip into the queue after Close's final drain sweep has started.
 func (s *Server) enqueue(j *job) bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
 	if s.draining.Load() {
 		return false
 	}
@@ -239,9 +269,11 @@ func (s *Server) process(j *job) {
 		s.processHook(j)
 	}
 	if j.ctx != nil && j.ctx.Err() != nil {
-		// The uploader is gone (timeout or disconnect); its body is no
-		// longer readable, so skip the work entirely.
+		// The upload's deadline passed while it sat in the queue (or the
+		// client disconnected); skip the work entirely. The handler is
+		// still waiting on done and relays the 503.
 		s.reg.Counter("serve_jobs_cancelled", "kind", j.kind).Inc()
+		s.reg.Counter("serve_upload_rejected", "reason", "timeout").Inc()
 		j.done <- jobResult{status: http.StatusServiceUnavailable, body: errorBody("upload cancelled")}
 		return
 	}
@@ -259,10 +291,15 @@ func (s *Server) process(j *job) {
 // processCapture streams a libpcap body: records decode one at a time with
 // bounded per-record allocation while the raw bytes feed the content hash.
 // A malformed or truncated body is a 400; a body over MaxUploadBytes is a
-// 413 (the handler wrapped it in http.MaxBytesReader). On a content-hash
-// hit the analysis stage is skipped and the cached report served.
+// 413 (the handler wrapped it in http.MaxBytesReader). On a cache hit the
+// analysis stage is skipped and the cached report served. The cache key
+// mixes the household ID into the content hash: the report embeds the ID
+// and a hit skips state accumulation, so byte-identical captures from two
+// households must be distinct entries.
 func (s *Server) processCapture(j *job) jobResult {
 	h := sha256.New()
+	h.Write([]byte(j.household))
+	h.Write([]byte{0}) // separator: the ID can never bleed into body bytes
 	rd, err := pcap.NewReader(io.TeeReader(j.body, h))
 	if err != nil {
 		return s.uploadError(err, "capture")
@@ -320,10 +357,16 @@ func (s *Server) processInspector(j *job) jobResult {
 	return jobResult{status: http.StatusOK, body: body}
 }
 
-// uploadError classifies a streaming-decode failure: body-limit hits are
+// uploadError classifies a streaming-decode failure: a cancelled request
+// context (deadline mid-stream, client gone) is a 503, body-limit hits are
 // 413, everything else (bad magic, truncation, implausible lengths, bad
 // JSON) is a 400.
 func (s *Server) uploadError(err error, kind string) jobResult {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.reg.Counter("serve_jobs_cancelled", "kind", kind).Inc()
+		s.reg.Counter("serve_upload_rejected", "reason", "timeout").Inc()
+		return jobResult{status: http.StatusServiceUnavailable, body: errorBody("upload cancelled mid-stream")}
+	}
 	var maxBytes *http.MaxBytesError
 	if errors.As(err, &maxBytes) {
 		s.reg.Counter("serve_upload_rejected", "reason", "oversized").Inc()

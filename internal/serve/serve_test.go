@@ -2,7 +2,9 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -216,6 +218,100 @@ func TestCacheHitOnDuplicateUpload(t *testing.T) {
 	}
 	if r.Captures != 1 {
 		t.Fatalf("captures %d after duplicate upload, want 1", r.Captures)
+	}
+}
+
+// TestCacheIsPerHousehold: byte-identical capture bodies uploaded by two
+// different households must not share a cache entry — each household gets a
+// report naming itself, accumulates its own state, and counts in the fleet.
+func TestCacheIsPerHousehold(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	body := capturePCAP(t, inspector.Generate(9, 1).Households[0])
+
+	a := do(s, "POST", "/v1/households/ha/capture", body)
+	b := do(s, "POST", "/v1/households/hb/capture", body)
+	if a.Code != http.StatusOK || b.Code != http.StatusOK {
+		t.Fatalf("uploads: %d / %d, want 200 / 200", a.Code, b.Code)
+	}
+	if got := b.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("second household's upload X-Cache=%q, want miss (must not reuse ha's entry)", got)
+	}
+	for rec, want := range map[*httptest.ResponseRecorder]string{a: "ha", b: "hb"} {
+		var rep captureReport
+		if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Household != want {
+			t.Fatalf("report names household %q, want %q", rep.Household, want)
+		}
+	}
+
+	// Both households must exist with accumulated state…
+	for _, id := range []string{"ha", "hb"} {
+		rep := do(s, "GET", "/v1/households/"+id+"/report", nil)
+		if rep.Code != http.StatusOK {
+			t.Fatalf("%s report: %d, want 200", id, rep.Code)
+		}
+		var r struct {
+			Captures int `json:"captures"`
+		}
+		if err := json.Unmarshal(rep.Body.Bytes(), &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Captures != 1 {
+			t.Fatalf("%s captures %d, want 1", id, r.Captures)
+		}
+	}
+	// …and the fleet must count two households, not one.
+	var f fleetSummary
+	if err := json.Unmarshal(do(s, "GET", "/v1/fleet", nil).Body.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Households != 2 {
+		t.Fatalf("fleet households %d, want 2", f.Households)
+	}
+
+	// Same household re-uploading the same bytes still hits the cache.
+	if got := do(s, "POST", "/v1/households/ha/capture", body).Header().Get("X-Cache"); got != "hit" {
+		t.Fatalf("same-household duplicate X-Cache=%q, want hit", got)
+	}
+}
+
+// TestTimeoutAbandonsUpload: when the request deadline passes while the job
+// is held before processing, the handler still waits for the worker's
+// verdict (never abandoning a body the worker may read) and relays its 503.
+func TestTimeoutAbandonsUpload(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, RequestTimeout: 50 * time.Millisecond})
+	s.processHook = func(j *job) {
+		if j.ctx != nil {
+			<-j.ctx.Done() // hold the job until its deadline passes
+		}
+	}
+	w := do(s, "POST", "/v1/households/ht/capture", capturePCAP(t, inspector.Generate(10, 1).Households[0]))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503; body %s", w.Code, w.Body.String())
+	}
+	if s.reg.CounterValue(obs.Key("serve_jobs_cancelled", "kind", "capture")) == 0 {
+		t.Fatal("cancelled job not counted")
+	}
+	if s.reg.CounterValue(obs.Key("serve_upload_rejected", "reason", "timeout")) == 0 {
+		t.Fatal("timeout rejection not counted")
+	}
+}
+
+// TestCtxReaderAborts: the worker's body stream fails with the context error
+// once the request is cancelled, so a mid-stream timeout ends the read loop
+// promptly instead of racing connection teardown.
+func TestCtxReaderAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &ctxReader{ctx: ctx, r: strings.NewReader("abc")}
+	buf := make([]byte, 1)
+	if _, err := r.Read(buf); err != nil {
+		t.Fatalf("read before cancel: %v", err)
+	}
+	cancel()
+	if _, err := r.Read(buf); !errors.Is(err, context.Canceled) {
+		t.Fatalf("read after cancel: err=%v, want context.Canceled", err)
 	}
 }
 
