@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench2 bench3 bench4 microbench repro serve examples clean
+.PHONY: all build vet test race verify bench bench2 bench3 bench4 bench5 microbench repro serve examples clean
 
 all: build vet test
 
@@ -50,7 +50,14 @@ bench3:
 # backpressure, and records BENCH_4.json — throughput, p50/p95/p99, and the
 # gate that the served fleet Table 2 checksums equal to the offline Study.
 bench4:
-	$(GO) run ./cmd/iotload -households 200 -concurrency 16 -seed 1 -out BENCH_4.json
+	$(GO) run ./cmd/iotload -households 200 -concurrency 16 -seed 1 -dup-frac 0 -out BENCH_4.json
+
+# Observability benchmark: the bench4 load plus a 25% duplicate tail that
+# exercises the content-hash cache, with per-stage p50/p95/p99 scraped from
+# the /metrics exposition folded into BENCH_5.json. Uploads/sec must stay
+# within 5% of bench4 — the cost of always-on spans and histograms.
+bench5:
+	$(GO) run ./cmd/iotload -households 200 -concurrency 16 -seed 1 -out BENCH_5.json
 
 # Run the capture-ingestion service on :8080.
 serve:

@@ -1,23 +1,31 @@
-// Command iotload drives iotserve with synthesized households and writes
-// BENCH_4.json: upload throughput, latency percentiles, and the
-// determinism gate — after all uploads land, the server's fleet Table 2
+// Command iotload drives iotserve with synthesized households and writes a
+// bench record (BENCH_5.json by default): upload throughput, latency
+// percentiles, per-stage server-side quantiles scraped from /metrics, and
+// the determinism gate — after all uploads land, the server's fleet Table 2
 // must checksum identically to the offline Study pipeline over the same
 // generated dataset.
 //
 // With no -addr it self-hosts an in-process serve.Server on a real
-// 127.0.0.1 TCP listener, so `make bench4` is a single command; -addr
+// 127.0.0.1 TCP listener, so `make bench5` is a single command; -addr
 // points it at an external iotserve instead (the determinism gate then
 // requires the server to have ingested exactly this load).
 //
 // Every upload honors backpressure: a 429 answer sleeps the Retry-After
 // hint and retries, so the "dropped" count is zero unless the server
-// refuses an upload for a non-backpressure reason.
+// refuses an upload for a non-backpressure reason. -dup-frac re-posts a
+// fraction of the upload set after the originals, exercising the server's
+// content-hash cache; the bench record counts the observed hits.
+//
+// After the load, iotload scrapes GET /metrics and strict-parses the
+// Prometheus exposition (the same parser the obs golden tests use). A
+// malformed page or empty per-stage histograms fail the run — observability
+// regressions break the bench, not just dashboards.
 //
 // Usage:
 //
 //	iotload [-households 200] [-concurrency 16] [-seed 1]
-//	        [-mode mixed|inspector|capture] [-addr host:port]
-//	        [-queue 64] [-workers N] [-out BENCH_4.json]
+//	        [-mode mixed|inspector|capture] [-dup-frac 0.25]
+//	        [-addr host:port] [-queue 64] [-workers N] [-out BENCH_5.json]
 package main
 
 import (
@@ -37,17 +45,19 @@ import (
 
 	"iotlan"
 	"iotlan/internal/inspector"
+	"iotlan/internal/obs"
 	"iotlan/internal/pcap"
 	"iotlan/internal/serve"
 )
 
-// benchRecord is the BENCH_4.json schema. Wall-clock and percentile fields
+// benchRecord is the bench JSON schema. Wall-clock and percentile fields
 // vary run to run; uploads/dropped/identical/checksum are the gates.
 type benchRecord struct {
 	Seed          int64   `json:"seed"`
 	Households    int     `json:"households"`
 	Concurrency   int     `json:"concurrency"`
 	Mode          string  `json:"mode"`
+	DupFrac       float64 `json:"dup_frac"`
 	Uploads       int     `json:"uploads"`
 	Retries429    int     `json:"retries_429"`
 	Dropped       int     `json:"dropped"`
@@ -57,10 +67,21 @@ type benchRecord struct {
 	P50MS         float64 `json:"p50_ms"`
 	P95MS         float64 `json:"p95_ms"`
 	P99MS         float64 `json:"p99_ms"`
+	// StageQuantiles is the server's own view of where upload time went,
+	// read back from the /metrics exposition's serve_stage_ms histograms.
+	StageQuantiles map[string]stageQuantiles `json:"stage_quantiles_ms,omitempty"`
 	// Identical asserts the serving determinism contract: fleet Table 2 from
 	// the concurrently-loaded server checksums equal to the offline Study.
 	Identical      bool   `json:"identical"`
 	ChecksumSHA256 string `json:"checksum_sha256"`
+}
+
+// stageQuantiles is one pipeline stage's scraped latency distribution.
+type stageQuantiles struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
 }
 
 // upload is one queued HTTP POST.
@@ -82,13 +103,18 @@ func main() {
 	concurrency := flag.Int("concurrency", 16, "concurrent uploaders")
 	seed := flag.Int64("seed", 1, "generation seed")
 	mode := flag.String("mode", "mixed", "upload mix: inspector, capture, or mixed (both per household)")
+	dupFrac := flag.Float64("dup-frac", 0.25, "fraction of the upload set re-posted after the originals (cache exercise)")
 	addr := flag.String("addr", "", "target server (empty = self-host in process)")
 	workers := flag.Int("workers", 0, "self-hosted server workers (0 = one per CPU)")
 	queue := flag.Int("queue", 64, "self-hosted server queue capacity")
-	out := flag.String("out", "BENCH_4.json", "output file (\"-\" for stdout)")
+	out := flag.String("out", "BENCH_5.json", "output file (\"-\" for stdout)")
 	flag.Parse()
 	if *mode != "inspector" && *mode != "capture" && *mode != "mixed" {
 		fmt.Fprintf(os.Stderr, "iotload: unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if *dupFrac < 0 || *dupFrac > 1 {
+		fmt.Fprintf(os.Stderr, "iotload: -dup-frac %v outside [0,1]\n", *dupFrac)
 		os.Exit(2)
 	}
 
@@ -134,6 +160,12 @@ func main() {
 			})
 		}
 	}
+	// Duplicates go after the originals, so by the time one is posted its
+	// original has (almost always) landed and the content-hash cache answers.
+	nDup := int(*dupFrac * float64(len(uploads)))
+	for i := 0; i < nDup; i++ {
+		uploads = append(uploads, uploads[i%len(uploads)])
+	}
 
 	client := &http.Client{Timeout: 2 * time.Minute}
 	work := make(chan upload)
@@ -162,6 +194,7 @@ func main() {
 		Households:  *households,
 		Concurrency: *concurrency,
 		Mode:        *mode,
+		DupFrac:     *dupFrac,
 		WallMS:      float64(wall) / float64(time.Millisecond),
 	}
 	var lats []time.Duration
@@ -206,18 +239,92 @@ func main() {
 		rec.Identical = true
 	}
 
+	// Read back the server's own stage accounting from /metrics. A page the
+	// strict parser refuses, or stage histograms that saw no samples, fail
+	// the bench outright.
+	sq, err := scrapeStageQuantiles(client, base)
+	if err != nil {
+		fatal(err)
+	}
+	rec.StageQuantiles = sq
+
 	writeJSON(rec, *out)
-	fmt.Printf("bench4: %d uploads at concurrency %d in %.0f ms (%.0f/sec, %d retries, %d dropped), p50 %.1f ms p95 %.1f ms p99 %.1f ms, identical=%v → %s\n",
+	fmt.Printf("bench: %d uploads at concurrency %d in %.0f ms (%.0f/sec, %d retries, %d dropped, %d cache hits), p50 %.1f ms p95 %.1f ms p99 %.1f ms, identical=%v → %s\n",
 		rec.Uploads, rec.Concurrency, rec.WallMS, rec.UploadsPerSec, rec.Retries429, rec.Dropped,
-		rec.P50MS, rec.P95MS, rec.P99MS, rec.Identical, *out)
+		rec.CacheHits, rec.P50MS, rec.P95MS, rec.P99MS, rec.Identical, *out)
 	if rec.Dropped > 0 {
-		fmt.Fprintln(os.Stderr, "bench4: uploads dropped — backpressure contract violated")
+		fmt.Fprintln(os.Stderr, "bench: uploads dropped — backpressure contract violated")
 		os.Exit(1)
 	}
 	if !rec.Identical {
-		fmt.Fprintln(os.Stderr, "bench4: served fleet artifact diverged from offline pipeline")
+		fmt.Fprintln(os.Stderr, "bench: served fleet artifact diverged from offline pipeline")
 		os.Exit(1)
 	}
+}
+
+// scrapeStageQuantiles fetches /metrics, strict-parses the exposition, and
+// interpolates p50/p95/p99 for every serve_stage_ms series from its
+// cumulative buckets — server-side truth, not client-observed latency.
+func scrapeStageQuantiles(client *http.Client, base string) (map[string]stageQuantiles, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	samples, _, err := obs.ParsePrometheus(string(body))
+	if err != nil {
+		return nil, fmt.Errorf("/metrics exposition invalid: %v", err)
+	}
+	buckets := map[string]map[float64]float64{}
+	counts := map[string]uint64{}
+	for _, s := range samples {
+		stage := s.Labels["stage"]
+		switch s.Name {
+		case "serve_stage_ms_bucket":
+			le, err := obs.ParsePromFloat(s.Labels["le"])
+			if err != nil {
+				return nil, fmt.Errorf("/metrics: bad le on stage %q: %v", stage, err)
+			}
+			if buckets[stage] == nil {
+				buckets[stage] = map[float64]float64{}
+			}
+			buckets[stage][le] = s.Value
+		case "serve_stage_ms_count":
+			counts[stage] = uint64(s.Value)
+		}
+	}
+	if len(buckets) == 0 {
+		return nil, fmt.Errorf("/metrics carries no serve_stage_ms histograms")
+	}
+	// Every upload, whatever its kind, passes through these stages; if one
+	// of them recorded nothing the instrumentation is broken. Kind-specific
+	// stages (pcap.decode vs inspector.decode, artifact.build) may
+	// legitimately be idle and are simply omitted from the record.
+	for _, stage := range []string{"queue.wait", "body.read", "analysis", "cache.lookup"} {
+		if counts[stage] == 0 {
+			return nil, fmt.Errorf("/metrics: stage %q histogram empty after load", stage)
+		}
+	}
+	out := make(map[string]stageQuantiles, len(buckets))
+	for stage, b := range buckets {
+		if counts[stage] == 0 {
+			continue
+		}
+		out[stage] = stageQuantiles{
+			Count: counts[stage],
+			P50:   obs.PromHistogramQuantile(b, 0.50),
+			P95:   obs.PromHistogramQuantile(b, 0.95),
+			P99:   obs.PromHistogramQuantile(b, 0.99),
+		}
+	}
+	return out, nil
 }
 
 // post sends one upload, honoring 429 backpressure by sleeping the server's

@@ -16,22 +16,27 @@
 // Uploads flow through a bounded worker pool behind a fixed-capacity queue;
 // a full queue answers 429 + Retry-After. Results are cached by content
 // hash. SIGINT/SIGTERM drains gracefully: queued and in-flight analyses
-// finish, new uploads get 503, then the listener shuts down.
+// finish, new uploads get 503, then the listener shuts down. SIGQUIT dumps
+// the flight recorder (recent + slowest + errored request traces) as Chrome
+// trace JSON to a file and keeps serving — the in-flight incident snapshot.
 //
 // Usage:
 //
 //	iotserve [-addr :8080] [-workers N] [-queue 64] [-max-upload 67108864]
 //	         [-timeout 30s] [-retry-after 1s] [-cache 4096]
+//	         [-log-format text|json] [-trace=true] [-flight 256]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -47,15 +52,33 @@ func main() {
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 	cache := flag.Int("cache", 4096, "content-hash result cache entries")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "graceful-shutdown budget on SIGTERM")
+	logFormat := flag.String("log-format", "text", "structured request log format: text, json, or none")
+	trace := flag.Bool("trace", true, "record per-upload spans into the flight recorder")
+	flight := flag.Int("flight", 0, "flight recorder capacity: recent traces retained (0 = default)")
 	flag.Parse()
 
+	var logger *slog.Logger
+	switch *logFormat {
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "iotserve: unknown -log-format %q (want text, json, or none)\n", *logFormat)
+		os.Exit(2)
+	}
+
 	s := serve.New(serve.Config{
-		Workers:        *workers,
-		QueueCapacity:  *queue,
-		MaxUploadBytes: *maxUpload,
-		RequestTimeout: *timeout,
-		RetryAfter:     *retryAfter,
-		CacheEntries:   *cache,
+		Workers:            *workers,
+		QueueCapacity:      *queue,
+		MaxUploadBytes:     *maxUpload,
+		RequestTimeout:     *timeout,
+		RetryAfter:         *retryAfter,
+		CacheEntries:       *cache,
+		DisableTracing:     !*trace,
+		FlightRecorderSize: *flight,
+		Logger:             logger,
 	})
 	httpSrv := serve.NewHTTPServer(*addr, s.Mux())
 
@@ -68,6 +91,28 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
+
+	// SIGQUIT is the incident hook: snapshot the flight recorder to a file
+	// and keep serving. (signal.Notify disarms the runtime's default
+	// stack-dump-and-exit handling for it.)
+	if fr := s.FlightRecorder(); fr != nil {
+		quitc := make(chan os.Signal, 1)
+		signal.Notify(quitc, syscall.SIGQUIT)
+		go func() {
+			for range quitc {
+				path := filepath.Join(os.TempDir(),
+					fmt.Sprintf("iotserve-flight-%d.json", time.Now().UnixNano()))
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "iotserve: flight dump:", err)
+					continue
+				}
+				fr.Dump(f)
+				f.Close()
+				fmt.Printf("iotserve: SIGQUIT — dumped %d request traces to %s\n", fr.Total(), path)
+			}
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

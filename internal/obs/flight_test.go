@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// mkTrace builds a single-span trace with the given id-ish start and dur.
+func mkTrace(id, dur int64, err bool) RequestTrace {
+	return RequestTrace{Spans: []SpanData{{
+		TraceID: uint64(id), SpanID: uint64(id), Cat: "serve", Name: "upload",
+		Start: id, Dur: dur, Err: err,
+	}}}
+}
+
+// TestFlightRecorderWraparound: the recent ring wraps at capacity, the
+// slowest traces stay pinned past eviction, and errored traces are pinned
+// regardless of duration.
+func TestFlightRecorderWraparound(t *testing.T) {
+	fr := NewFlightRecorder(4, 2)
+
+	// Trace 1 is the slowest of the whole run; traces 2-9 are fast.
+	fr.RecordTrace(mkTrace(1, 1000, false))
+	for i := int64(2); i <= 9; i++ {
+		fr.RecordTrace(mkTrace(i, i, false))
+	}
+	// One errored fast trace, then enough traffic to wrap the ring again.
+	fr.RecordTrace(mkTrace(10, 1, true))
+	for i := int64(11); i <= 20; i++ {
+		fr.RecordTrace(mkTrace(i, 2, false))
+	}
+
+	if got := fr.Total(); got != 20 {
+		t.Fatalf("total %d, want 20", got)
+	}
+	byID := map[uint64]RequestTrace{}
+	for _, rt := range fr.Traces() {
+		byID[rt.Root().SpanID] = rt
+	}
+	// The recent ring holds the last 4 traces.
+	for i := uint64(17); i <= 20; i++ {
+		if _, ok := byID[i]; !ok {
+			t.Fatalf("recent trace %d missing from ring", i)
+		}
+	}
+	// Trace 1 left the ring 15 traces ago but is pinned as slowest.
+	if _, ok := byID[1]; !ok {
+		t.Fatal("slowest trace evicted — slow pinning broken")
+	}
+	// The errored trace is pinned despite being fast and old.
+	rt, ok := byID[10]
+	if !ok {
+		t.Fatal("errored trace evicted — error pinning broken")
+	}
+	if !rt.Root().Err {
+		t.Fatal("pinned errored trace lost its Err mark")
+	}
+	// Bounded: ring + slow pins + errored pins at most.
+	if n := len(fr.Traces()); n > 4+2+2 {
+		t.Fatalf("recorder retains %d traces, cap is 8", n)
+	}
+}
+
+// TestFlightRecorderDump: the dump is valid Chrome trace JSON with one tid
+// lane per trace and parent links in args.
+func TestFlightRecorderDump(t *testing.T) {
+	clk := &fakeClock{}
+	st := NewSpanTracer(clk.fn())
+	fr := NewFlightRecorder(8, 2)
+	st.SetSink(fr)
+
+	for i := 0; i < 3; i++ {
+		ctx, root := st.StartSpan(context.Background(), "serve", "upload", "household", fmt.Sprintf("h%d", i))
+		clk.now += 5
+		_, child := st.StartSpan(ctx, "serve", "analysis")
+		clk.now += 10
+		child.End()
+		clk.now += 1
+		root.End()
+	}
+
+	var buf bytes.Buffer
+	if err := fr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		TID  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 6 {
+		t.Fatalf("dump has %d events, want 6", len(events))
+	}
+	uploads, children := 0, 0
+	tids := map[int]bool{}
+	for _, ev := range events {
+		tids[ev.TID] = true
+		switch ev.Name {
+		case "upload":
+			uploads++
+			if ev.Args["span"] == "" {
+				t.Fatalf("upload event missing span id: %+v", ev)
+			}
+		case "analysis":
+			children++
+			if ev.Args["parent"] == "" {
+				t.Fatalf("child event missing parent link: %+v", ev)
+			}
+		}
+	}
+	if uploads != 3 || children != 3 {
+		t.Fatalf("uploads %d children %d, want 3/3", uploads, children)
+	}
+	if len(tids) != 3 {
+		t.Fatalf("traces share tids: %v (want one lane each)", tids)
+	}
+}
+
+// TestFlightRecorderConcurrent: concurrent recording and dumping stay
+// consistent (the -race CI pass is the real assertion here).
+func TestFlightRecorderConcurrent(t *testing.T) {
+	fr := NewFlightRecorder(16, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				fr.RecordTrace(mkTrace(int64(g*1000+i), int64(i%7), i%13 == 0))
+				if i%25 == 0 {
+					var buf bytes.Buffer
+					if err := fr.Dump(&buf); err != nil {
+						t.Errorf("dump mid-record: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := fr.Total(); got != 800 {
+		t.Fatalf("total %d, want 800", got)
+	}
+	var buf bytes.Buffer
+	if err := fr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("final dump invalid: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("final dump empty")
+	}
+}
+
+// TestFlightRecorderNil: a nil recorder no-ops.
+func TestFlightRecorderNil(t *testing.T) {
+	var fr *FlightRecorder
+	fr.RecordTrace(mkTrace(1, 1, false))
+	if fr.Total() != 0 || fr.Traces() != nil {
+		t.Fatal("nil recorder retained state")
+	}
+}

@@ -27,6 +27,9 @@ type TraceEvent struct {
 	Cat  string            `json:"cat"`
 	Name string            `json:"name"`
 	Args map[string]string `json:"args,omitempty"`
+	// TID separates concurrent tracks (Chrome renders one lane per tid);
+	// 0 means the default track.
+	TID int `json:"tid,omitempty"`
 }
 
 // chromeEvent is the trace_event wire form. Instants use ph "i" with global
@@ -77,6 +80,12 @@ func (t *Tracer) Span(ts, dur int64, cat, name string, args ...string) {
 	t.emit(TraceEvent{TS: ts, Dur: dur, Cat: cat, Name: name, Args: argMap(args)})
 }
 
+// SpanOn records a completed interval on a specific track: concurrent
+// requests each get their own Chrome lane instead of stacking on tid 1.
+func (t *Tracer) SpanOn(tid int, ts, dur int64, cat, name string, args ...string) {
+	t.emit(TraceEvent{TS: ts, Dur: dur, Cat: cat, Name: name, Args: argMap(args), TID: tid})
+}
+
 func argMap(args []string) map[string]string {
 	if len(args) == 0 {
 		return nil
@@ -101,9 +110,13 @@ func (t *Tracer) emit(ev TraceEvent) {
 	var err error
 	switch t.format {
 	case FormatChrome:
+		tid := ev.TID
+		if tid == 0 {
+			tid = 1
+		}
 		ce := chromeEvent{
 			Name: ev.Name, Cat: ev.Cat, TS: ev.TS, Dur: ev.Dur,
-			PID: 1, TID: 1, Args: ev.Args,
+			PID: 1, TID: tid, Args: ev.Args,
 		}
 		if ev.Dur > 0 {
 			ce.Phase = "X"

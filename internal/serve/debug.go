@@ -16,10 +16,13 @@ import (
 // (replacing its earlier ad-hoc DefaultServeMux listener, which had no
 // read/write timeouts and a second HTTP surface of its own):
 //
-//	/metrics      labeled obs registries as deterministic JSON
-//	/healthz      liveness + drain state
-//	/debug/vars   expvar (Go runtime counters + published registries)
-//	/debug/pprof  CPU/heap/goroutine profiles
+//	/metrics               Prometheus text exposition (version 0.0.4)
+//	/debug/metrics.json    labeled obs registries as deterministic JSON
+//	/debug/flightrecorder  recent + slowest + errored request traces
+//	                       as Chrome trace JSON (server muxes only)
+//	/healthz               liveness + drain state
+//	/debug/vars            expvar (Go runtime counters + registries)
+//	/debug/pprof           CPU/heap/goroutine profiles
 
 // MetricsSource names one obs registry for /metrics. Registry covers the
 // common case; Lazy defers resolution to request time for registries that
@@ -70,7 +73,22 @@ func registerDebug(mux *http.ServeMux, s *Server, extra ...MetricsSource) {
 		})
 	}
 
+	// /metrics is Prometheus text exposition — what a scraper expects.
+	// Each source renders namespaced under its name (a metric already
+	// carrying the prefix, like serve_*, stays unchanged), so several
+	// registries share one scrape without colliding.
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		for _, src := range sources {
+			if reg := src.resolve(); reg != nil {
+				reg.WritePrometheusPrefixed(w, src.Name)
+			}
+		}
+	})
+
+	// The pre-Prometheus JSON rendering stays for humans and scripts that
+	// want the registries as one structured document.
+	mux.HandleFunc("GET /debug/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		out := make(map[string]json.RawMessage, len(sources)+1)
 		for _, src := range sources {
 			if reg := src.resolve(); reg != nil {
@@ -93,6 +111,20 @@ func registerDebug(mux *http.ServeMux, s *Server, extra ...MetricsSource) {
 		enc.SetIndent("", "  ")
 		enc.Encode(out)
 	})
+
+	if s != nil {
+		// The flight recorder dump: Chrome trace JSON of the retained
+		// request traces — load into chrome://tracing or Perfetto during
+		// (or after) an incident.
+		mux.HandleFunc("GET /debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+			if s.flight == nil {
+				writeJSON(w, http.StatusNotFound, errorBody("tracing disabled"))
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			s.flight.Dump(w)
+		})
+	}
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusOK

@@ -16,7 +16,8 @@ import (
 //	GET  /v1/artifacts/{name}          registry artifact over the fleet
 //	GET  /v1/fleet                     fleet summary
 //
-// plus the operational endpoints from RegisterDebug (/metrics, /healthz,
+// plus the operational endpoints from RegisterDebug (/metrics as Prometheus
+// text exposition, /debug/metrics.json, /debug/flightrecorder, /healthz,
 // /debug/vars, /debug/pprof/*) — one HTTP surface for data and ops.
 func (s *Server) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
@@ -32,21 +33,27 @@ func (s *Server) Mux() *http.ServeMux {
 // handleUpload is the shared ingestion front end: backpressure first (the
 // queue-full check happens before a single body byte is consumed), then the
 // worker streams the body, then the handler relays the worker's verdict.
+// Every upload records an `upload` root span (when tracing is on) with the
+// worker's stage spans as children, and leaves one structured log line.
 func (s *Server) handleUpload(kind string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		household := r.PathValue("id")
 		if kind == "capture" && household == "" {
-			writeJSON(w, http.StatusBadRequest, errorBody("missing household id"))
+			s.respond(w, http.StatusBadRequest, errorBody("missing household id"))
 			return
 		}
 		if s.draining.Load() {
 			s.reg.Counter("serve_upload_rejected", "reason", "draining").Inc()
-			writeJSON(w, http.StatusServiceUnavailable, errorBody("server draining"))
+			s.respond(w, http.StatusServiceUnavailable, errorBody("server draining"))
+			s.logUpload(kind, household, http.StatusServiceUnavailable, uploadStats{}, "none", len(s.queue), time.Since(start))
 			return
 		}
+		admitDepth := len(s.queue)
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		ctx, root := s.spans.StartSpan(ctx, "serve", "upload",
+			"kind", kind, "household", household, "queue_depth_admit", strconv.Itoa(admitDepth))
 		j := &job{
 			kind:      kind,
 			household: household,
@@ -54,10 +61,21 @@ func (s *Server) handleUpload(kind string) http.HandlerFunc {
 			ctx:       ctx,
 			done:      make(chan jobResult, 1),
 		}
+		// The queue.wait child starts before the enqueue attempt: the worker
+		// may pop the job the instant the send lands, and it (not the
+		// handler) ends the span. After a successful enqueue the handler
+		// never touches qspan or enqueuedAt again.
+		j.enqueuedAt = time.Now()
+		_, j.qspan = s.spans.StartSpan(ctx, "serve", "queue.wait")
 		if !s.enqueue(j) {
+			j.qspan.End()
 			s.reg.Counter("serve_upload_rejected", "reason", "queue_full").Inc()
+			root.SetAttr("status", "429")
+			root.End()
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
-			writeJSON(w, http.StatusTooManyRequests, errorBody("ingestion queue full, retry later"))
+			s.respond(w, http.StatusTooManyRequests,
+				s.backpressureBody("ingestion queue full, retry later", len(s.queue)))
+			s.logUpload(kind, household, http.StatusTooManyRequests, uploadStats{}, "none", admitDepth, time.Since(start))
 			return
 		}
 		// Always wait for the worker's verdict: the worker holds the request
@@ -67,13 +85,23 @@ func (s *Server) handleUpload(kind string) http.HandlerFunc {
 		// processing (queue pre-check) or mid-stream (ctxReader), answering
 		// 503 promptly.
 		res := <-j.done
+		cache := "none"
 		if res.cacheHit {
 			w.Header().Set("X-Cache", "hit")
+			cache = "hit"
 		} else if res.status == http.StatusOK {
 			w.Header().Set("X-Cache", "miss")
+			cache = "miss"
 		}
-		s.mLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
-		writeJSON(w, res.status, res.body)
+		root.SetAttr("status", strconv.Itoa(res.status))
+		if res.status >= 500 {
+			root.Fail()
+		}
+		root.End()
+		total := time.Since(start)
+		s.mLatency.Observe(float64(total) / float64(time.Millisecond))
+		s.respond(w, res.status, res.body)
+		s.logUpload(kind, household, res.status, j.stats, cache, admitDepth, total)
 	}
 }
 
@@ -81,30 +109,42 @@ func (s *Server) handleUpload(kind string) http.HandlerFunc {
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	body, ok := s.report(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody("unknown household"))
+		s.respond(w, http.StatusNotFound, errorBody("unknown household"))
 		return
 	}
-	writeJSON(w, http.StatusOK, body)
+	s.respond(w, http.StatusOK, body)
 }
 
 // handleArtifact computes a registry artifact over the ingested fleet.
 // Artifacts whose pipelines need the offline lab answer 409.
 func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
-	body, err := s.RunFleetArtifact(r.PathValue("name"))
+	ctx, root := s.spans.StartSpan(r.Context(), "serve", "artifact", "name", r.PathValue("name"))
+	body, err := s.RunFleetArtifact(ctx, r.PathValue("name"))
 	if err != nil {
 		status := http.StatusNotFound
 		if errors.Is(err, ErrOfflineArtifact) {
 			status = http.StatusConflict
 		}
-		writeJSON(w, status, errorBody(err.Error()))
+		root.SetAttr("status", strconv.Itoa(status))
+		root.End()
+		s.respond(w, status, errorBody(err.Error()))
 		return
 	}
-	writeJSON(w, http.StatusOK, body)
+	root.SetAttr("status", "200")
+	root.End()
+	s.respond(w, http.StatusOK, body)
 }
 
 // handleFleet serves the fleet summary.
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.fleet())
+	s.respond(w, http.StatusOK, s.fleet())
+}
+
+// respond writes a JSON response and counts it under
+// serve_responses{code=...} — the per-status-code view of the v1 surface.
+func (s *Server) respond(w http.ResponseWriter, status int, body []byte) {
+	s.reg.Counter("serve_responses", "code", strconv.Itoa(status)).Inc()
+	writeJSON(w, status, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, body []byte) {

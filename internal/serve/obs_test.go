@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"iotlan/internal/inspector"
+	"iotlan/internal/obs"
+)
+
+// TestUploadSpansReachFlightRecorder: every upload leaves a root `upload`
+// trace with per-stage children in the flight recorder, and the
+// /debug/flightrecorder endpoint dumps them as valid Chrome trace JSON.
+func TestUploadSpansReachFlightRecorder(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	ds := inspector.Generate(11, 2)
+	h := ds.Households[0]
+	if w := do(s, "POST", fmt.Sprintf("/v1/households/%s/capture", h.ID), capturePCAP(t, h)); w.Code != http.StatusOK {
+		t.Fatalf("capture upload: %d", w.Code)
+	}
+	if w := do(s, "POST", "/v1/ingest/inspector", wireBody(t, ds.Households...)); w.Code != http.StatusOK {
+		t.Fatalf("wire upload: %d", w.Code)
+	}
+	if w := do(s, "GET", "/v1/artifacts/table2", nil); w.Code != http.StatusOK {
+		t.Fatalf("artifact: %d", w.Code)
+	}
+
+	if got := s.FlightRecorder().Total(); got < 2 {
+		t.Fatalf("flight recorder holds %d traces, want >= 2", got)
+	}
+	stageSeen := map[string]bool{}
+	for _, rt := range s.FlightRecorder().Traces() {
+		root := rt.Root()
+		if root.Name == "upload" && len(rt.Spans) < 3 {
+			t.Fatalf("upload trace has only %d spans: %+v", len(rt.Spans), rt.Spans)
+		}
+		for _, sp := range rt.Spans {
+			stageSeen[sp.Name] = true
+			if sp.ParentID != 0 && sp.TraceID != root.TraceID {
+				t.Fatalf("span %s not linked to its root: %+v", sp.Name, sp)
+			}
+		}
+	}
+	for _, want := range []string{"upload", "queue.wait", "body.read", "pcap.decode",
+		"inspector.decode", "analysis", "cache.lookup", "artifact", "artifact.build"} {
+		if !stageSeen[want] {
+			t.Fatalf("no %q span recorded; saw %v", want, stageSeen)
+		}
+	}
+
+	w := do(s, "GET", "/debug/flightrecorder", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/debug/flightrecorder: %d", w.Code)
+	}
+	var events []struct {
+		Name string            `json:"name"`
+		Args map[string]string `json:"args"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &events); err != nil {
+		t.Fatalf("flight recorder dump not valid JSON: %v\n%s", err, w.Body.String())
+	}
+	var uploads int
+	for _, ev := range events {
+		if ev.Name == "upload" {
+			uploads++
+			if ev.Args["status"] != "200" {
+				t.Fatalf("upload span missing status attr: %+v", ev)
+			}
+		}
+	}
+	if uploads < 2 {
+		t.Fatalf("dump has %d upload spans, want >= 2", uploads)
+	}
+}
+
+// TestStageHistogramsPopulated: each pipeline stage feeds its own
+// serve_stage_ms series, so /metrics can answer "where did the p99 go".
+func TestStageHistogramsPopulated(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ds := inspector.Generate(12, 2)
+	h := ds.Households[0]
+	body := capturePCAP(t, h)
+	for i := 0; i < 2; i++ { // second upload hits the cache
+		if w := do(s, "POST", fmt.Sprintf("/v1/households/%s/capture", h.ID), body); w.Code != http.StatusOK {
+			t.Fatalf("capture upload %d: %d", i, w.Code)
+		}
+	}
+	if w := do(s, "POST", "/v1/ingest/inspector", wireBody(t, ds.Households...)); w.Code != http.StatusOK {
+		t.Fatalf("wire upload: %d", w.Code)
+	}
+	for _, stage := range []string{"queue.wait", "body.read", "pcap.decode", "inspector.decode", "analysis", "cache.lookup"} {
+		if n := s.stageHist[stage].Count(); n == 0 {
+			t.Fatalf("stage %q histogram empty", stage)
+		}
+	}
+	if s.mWorkersBusy.Value() != 0 {
+		t.Fatalf("workers busy gauge %d after drain of work, want 0", s.mWorkersBusy.Value())
+	}
+	if s.mInflight.Value() != 0 {
+		t.Fatalf("in-flight bytes gauge %d at rest, want 0", s.mInflight.Value())
+	}
+}
+
+// TestTracingDisabled: DisableTracing removes spans and the flight
+// recorder (404) but keeps every metric flowing.
+func TestTracingDisabled(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, DisableTracing: true})
+	h := inspector.Generate(13, 1).Households[0]
+	if w := do(s, "POST", fmt.Sprintf("/v1/households/%s/capture", h.ID), capturePCAP(t, h)); w.Code != http.StatusOK {
+		t.Fatalf("upload: %d", w.Code)
+	}
+	if s.FlightRecorder() != nil {
+		t.Fatal("flight recorder exists with tracing disabled")
+	}
+	if w := do(s, "GET", "/debug/flightrecorder", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("/debug/flightrecorder with tracing off: %d, want 404", w.Code)
+	}
+	// Metrics are independent of tracing.
+	if s.stageHist["analysis"].Count() == 0 {
+		t.Fatal("stage histograms stopped with tracing off")
+	}
+	m := do(s, "GET", "/metrics", nil)
+	if !strings.Contains(m.Body.String(), "serve_stage_ms_bucket") {
+		t.Fatal("/metrics lost stage histograms with tracing off")
+	}
+}
+
+// TestStructuredRequestLog: with a Logger configured, every upload leaves
+// exactly one structured line carrying household, stage timings, status,
+// cache verdict, and admission-time queue depth — in both slog formats.
+func TestStructuredRequestLog(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	syncWriter := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	s := newTestServer(t, Config{
+		Workers: 1,
+		Logger:  slog.New(slog.NewJSONHandler(syncWriter, nil)),
+	})
+	h := inspector.Generate(14, 1).Households[0]
+	body := capturePCAP(t, h)
+	for i := 0; i < 2; i++ {
+		if w := do(s, "POST", fmt.Sprintf("/v1/households/%s/capture", h.ID), body); w.Code != http.StatusOK {
+			t.Fatalf("upload %d: %d", i, w.Code)
+		}
+	}
+
+	mu.Lock()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	mu.Unlock()
+	if len(lines) != 2 {
+		t.Fatalf("log lines %d, want 2 (one per upload):\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	type logLine struct {
+		Msg             string  `json:"msg"`
+		Kind            string  `json:"kind"`
+		Household       string  `json:"household"`
+		Status          int     `json:"status"`
+		Bytes           int64   `json:"bytes"`
+		TotalMS         float64 `json:"total_ms"`
+		QueueWaitMS     float64 `json:"queue_wait_ms"`
+		AnalysisMS      float64 `json:"analysis_ms"`
+		Cache           string  `json:"cache"`
+		QueueDepthAdmit int     `json:"queue_depth_admit"`
+	}
+	var first, second logLine
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Msg != "upload" || first.Kind != "capture" || first.Household != h.ID ||
+		first.Status != 200 || first.Bytes == 0 || first.TotalMS <= 0 || first.Cache != "miss" {
+		t.Fatalf("first log line wrong: %+v", first)
+	}
+	if second.Cache != "hit" {
+		t.Fatalf("second upload logged cache=%q, want hit", second.Cache)
+	}
+}
+
+// TestResponsesCounter: the v1 surface counts every response by status.
+func TestResponsesCounter(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	h := inspector.Generate(15, 1).Households[0]
+	do(s, "POST", fmt.Sprintf("/v1/households/%s/capture", h.ID), capturePCAP(t, h)) // 200
+	do(s, "POST", "/v1/households/hx/capture", []byte("garbage"))                    // 400
+	do(s, "GET", "/v1/households/ghost/report", nil)                                 // 404
+	for code, want := range map[string]uint64{"200": 1, "400": 1, "404": 1} {
+		if got := s.reg.CounterValue(obs.Key("serve_responses", "code", code)); got != want {
+			t.Fatalf("serve_responses{code=%s} = %d, want %d", code, got, want)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -23,9 +23,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +60,18 @@ type Config struct {
 	// CacheEntries bounds the content-hash result cache; at capacity new
 	// results are served but not retained.
 	CacheEntries int
+	// DisableTracing turns off per-request spans and the flight recorder.
+	// Tracing is observational only — artifact bytes are identical either
+	// way (TestTracingDoesNotChangeArtifacts) — so the default is on.
+	DisableTracing bool
+	// FlightRecorderSize bounds the ring of recent request traces kept for
+	// postmortems (0 = obs.DefaultFlightRecent). Ignored when tracing is
+	// disabled.
+	FlightRecorderSize int
+	// Logger, when set, gets one structured line per upload: household,
+	// route, bytes, stage timings, status, cache verdict, queue depth at
+	// admit. Nil means no request logging.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -105,8 +119,27 @@ type job struct {
 	kind      string // "capture" | "inspector"
 	household string
 	body      io.Reader
-	ctx       context.Context
+	ctx       context.Context // request ctx, carrying the upload root span
 	done      chan jobResult
+	// enqueuedAt and qspan bracket queue wait: stamped by the handler just
+	// before the queue send, closed out by the worker at pop. The handler
+	// never touches them after a successful enqueue.
+	enqueuedAt time.Time
+	qspan      *obs.Span
+	// stats is written by the worker and read by the handler after done —
+	// the handler always waits for the worker's verdict, so no race.
+	stats uploadStats
+}
+
+// uploadStats is the per-stage accounting one upload leaves behind for the
+// structured request log.
+type uploadStats struct {
+	Bytes       int64
+	QueueWait   time.Duration
+	BodyRead    time.Duration
+	Decode      time.Duration
+	Analysis    time.Duration
+	CacheLookup time.Duration
 }
 
 // jobResult is what the waiting handler writes back to the client.
@@ -132,6 +165,28 @@ func (c *ctxReader) Read(p []byte) (int, error) {
 	return c.r.Read(p)
 }
 
+// meterReader accounts a body stream as the worker consumes it: bytes and
+// time spent blocked in Read (the body.read stage — reads interleave with
+// record decoding, so the cost accumulates rather than brackets), plus a
+// live in-flight-bytes gauge. The caller releases the gauge when done.
+type meterReader struct {
+	r        io.Reader
+	inflight *obs.Gauge
+	n        int64
+	dur      time.Duration
+}
+
+func (m *meterReader) Read(p []byte) (int, error) {
+	t0 := time.Now()
+	n, err := m.r.Read(p)
+	m.dur += time.Since(t0)
+	m.n += int64(n)
+	if n > 0 {
+		m.inflight.Add(int64(n))
+	}
+	return n, err
+}
+
 // Server is the ingestion service. Create with New, attach Mux to an HTTP
 // server, and stop with Drain + Close.
 type Server struct {
@@ -154,13 +209,35 @@ type Server struct {
 	fleetVersion uint64
 	fleetMemo    map[string]fleetEntry
 
-	mQueueDepth *obs.Gauge
-	mLatency    *obs.Histogram
+	// spans/flight are the request-tracing surface; both nil when
+	// Config.DisableTracing is set (every call through them no-ops).
+	spans  *obs.SpanTracer
+	flight *obs.FlightRecorder
+	logger *slog.Logger
+
+	mQueueDepth  *obs.Gauge
+	mWorkersBusy *obs.Gauge
+	mInflight    *obs.Gauge
+	mLatency     *obs.Histogram
+	stageHist    map[string]*obs.Histogram
 
 	// processHook, when set (tests only), runs in the worker before each
 	// job — a gate for deterministic queue-full and drain scenarios.
 	processHook func(*job)
 }
+
+// uploadStages are the per-upload pipeline stages, each with its own
+// serve_stage_ms{stage=...} histogram — the direct answer to "where did
+// the p99 go".
+var uploadStages = []string{
+	"queue.wait", "body.read", "pcap.decode", "inspector.decode",
+	"analysis", "cache.lookup", "artifact.build",
+}
+
+// stageBounds are millisecond bucket bounds for the stage histograms; the
+// sub-millisecond buckets matter because cache lookups and queue waits are
+// usually far under 1ms.
+var stageBounds = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
 
 type fleetEntry struct {
 	version uint64
@@ -180,8 +257,20 @@ func New(cfg Config) *Server {
 		fleetMemo:  make(map[string]fleetEntry),
 	}
 	s.mQueueDepth = s.reg.Gauge("serve_queue_depth")
+	s.mWorkersBusy = s.reg.Gauge("serve_workers_busy")
+	s.mInflight = s.reg.Gauge("serve_inflight_bytes")
 	s.mLatency = s.reg.Histogram("serve_latency_ms",
 		[]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000})
+	s.stageHist = make(map[string]*obs.Histogram, len(uploadStages))
+	for _, stage := range uploadStages {
+		s.stageHist[stage] = s.reg.Histogram("serve_stage_ms", stageBounds, "stage", stage)
+	}
+	if !cfg.DisableTracing {
+		s.spans = obs.NewSpanTracer(obs.WallClock)
+		s.flight = obs.NewFlightRecorder(cfg.FlightRecorderSize, 0)
+		s.spans.SetSink(s.flight)
+	}
+	s.logger = cfg.Logger
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = defaultWorkers()
@@ -198,6 +287,16 @@ func New(cfg Config) *Server {
 // data — latency histograms, queue depths — and are not expected to be
 // deterministic across runs.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// FlightRecorder exposes the retained request traces (nil when tracing is
+// disabled) — served at /debug/flightrecorder and dumped on SIGQUIT by
+// cmd/iotserve.
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.flight }
+
+// stageObserve feeds one stage's latency histogram.
+func (s *Server) stageObserve(stage string, d time.Duration) {
+	s.stageHist[stage].Observe(float64(d) / float64(time.Millisecond))
+}
 
 // Drain marks the server as draining: new uploads are refused with 503
 // while queued and in-flight analyses run to completion. Safe to call more
@@ -265,6 +364,13 @@ func (s *Server) enqueue(j *job) bool {
 // analyze, publish.
 func (s *Server) process(j *job) {
 	s.mQueueDepth.Set(int64(len(s.queue)))
+	s.mWorkersBusy.Add(1)
+	defer s.mWorkersBusy.Add(-1)
+	if !j.enqueuedAt.IsZero() {
+		j.stats.QueueWait = time.Since(j.enqueuedAt)
+		s.stageObserve("queue.wait", j.stats.QueueWait)
+	}
+	j.qspan.End()
 	if s.processHook != nil {
 		s.processHook(j)
 	}
@@ -300,8 +406,23 @@ func (s *Server) processCapture(j *job) jobResult {
 	h := sha256.New()
 	h.Write([]byte(j.household))
 	h.Write([]byte{0}) // separator: the ID can never bleed into body bytes
-	rd, err := pcap.NewReader(io.TeeReader(j.body, h))
+	mr := &meterReader{r: j.body, inflight: s.mInflight}
+	defer func() { s.mInflight.Add(-mr.n) }()
+	decodeStart, spanStart := time.Now(), s.spans.Now()
+	endDecode := func(records int) {
+		loop := time.Since(decodeStart)
+		j.stats.Bytes, j.stats.BodyRead = mr.n, mr.dur
+		j.stats.Decode = loop - mr.dur
+		s.stageObserve("body.read", j.stats.BodyRead)
+		s.stageObserve("pcap.decode", j.stats.Decode)
+		s.spans.RecordSpan(j.ctx, "serve", "body.read", spanStart, mr.dur.Microseconds(),
+			"bytes", strconv.FormatInt(mr.n, 10))
+		s.spans.RecordSpan(j.ctx, "serve", "pcap.decode", spanStart, loop.Microseconds(),
+			"records", strconv.Itoa(records))
+	}
+	rd, err := pcap.NewReader(io.TeeReader(mr, h))
 	if err != nil {
+		endDecode(0)
 		return s.uploadError(err, "capture")
 	}
 	rd.SetMaxRecordBytes(s.cfg.MaxRecordBytes)
@@ -312,27 +433,64 @@ func (s *Server) processCapture(j *job) jobResult {
 			break
 		}
 		if err != nil {
+			endDecode(len(records))
 			return s.uploadError(err, "capture")
 		}
 		records = append(records, rec)
 	}
+	endDecode(len(records))
 	var digest [sha256.Size]byte
 	h.Sum(digest[:0])
-	if body, ok := s.cacheGet(digest); ok {
+	body, hit := s.timedCacheGet(j, digest)
+	if hit {
 		return jobResult{status: http.StatusOK, body: body, cacheHit: true}
 	}
-	body := s.analyzeCapture(j.household, records)
+	aStart := time.Now()
+	_, aspan := s.spans.StartSpan(j.ctx, "serve", "analysis")
+	body = s.analyzeCapture(j.household, records)
+	aspan.End()
+	j.stats.Analysis = time.Since(aStart)
+	s.stageObserve("analysis", j.stats.Analysis)
 	s.cachePut(digest, body)
 	s.reg.Counter("serve_uploads", "kind", "capture").Inc()
 	s.reg.Counter("serve_upload_frames").Add(uint64(len(records)))
 	return jobResult{status: http.StatusOK, body: body}
 }
 
+// timedCacheGet is cacheGet with the cache.lookup stage accounted.
+func (s *Server) timedCacheGet(j *job, digest [sha256.Size]byte) ([]byte, bool) {
+	cStart, cSpan := time.Now(), s.spans.Now()
+	body, ok := s.cacheGet(digest)
+	j.stats.CacheLookup = time.Since(cStart)
+	s.stageObserve("cache.lookup", j.stats.CacheLookup)
+	verdict := "miss"
+	if ok {
+		verdict = "hit"
+	}
+	s.spans.RecordSpan(j.ctx, "serve", "cache.lookup", cSpan, j.stats.CacheLookup.Microseconds(),
+		"result", verdict)
+	return body, ok
+}
+
 // processInspector streams a JSONL wire-format body, replacing each
 // household's crowdsourced record and bumping the fleet version.
 func (s *Server) processInspector(j *job) jobResult {
 	h := sha256.New()
-	dec := inspector.NewWireDecoder(io.TeeReader(j.body, h))
+	mr := &meterReader{r: j.body, inflight: s.mInflight}
+	defer func() { s.mInflight.Add(-mr.n) }()
+	decodeStart, spanStart := time.Now(), s.spans.Now()
+	endDecode := func(households int) {
+		loop := time.Since(decodeStart)
+		j.stats.Bytes, j.stats.BodyRead = mr.n, mr.dur
+		j.stats.Decode = loop - mr.dur
+		s.stageObserve("body.read", j.stats.BodyRead)
+		s.stageObserve("inspector.decode", j.stats.Decode)
+		s.spans.RecordSpan(j.ctx, "serve", "body.read", spanStart, mr.dur.Microseconds(),
+			"bytes", strconv.FormatInt(mr.n, 10))
+		s.spans.RecordSpan(j.ctx, "serve", "inspector.decode", spanStart, loop.Microseconds(),
+			"households", strconv.Itoa(households))
+	}
+	dec := inspector.NewWireDecoder(io.TeeReader(mr, h))
 	var hhs []*inspector.Household
 	for {
 		hh, err := dec.Next()
@@ -340,18 +498,26 @@ func (s *Server) processInspector(j *job) jobResult {
 			break
 		}
 		if err != nil {
+			endDecode(len(hhs))
 			return s.uploadError(err, "inspector")
 		}
 		hhs = append(hhs, hh)
 	}
+	endDecode(len(hhs))
 	var digest [sha256.Size]byte
 	h.Sum(digest[:0])
-	if body, ok := s.cacheGet(digest); ok {
+	body, hit := s.timedCacheGet(j, digest)
+	if hit {
 		// Ingest is idempotent per household ID, so a duplicate batch needs
 		// no re-ingest either: the fleet already contains these households.
 		return jobResult{status: http.StatusOK, body: body, cacheHit: true}
 	}
-	body := s.ingest(hhs)
+	aStart := time.Now()
+	_, aspan := s.spans.StartSpan(j.ctx, "serve", "analysis")
+	body = s.ingest(hhs)
+	aspan.End()
+	j.stats.Analysis = time.Since(aStart)
+	s.stageObserve("analysis", j.stats.Analysis)
 	s.cachePut(digest, body)
 	s.reg.Counter("serve_uploads", "kind", "inspector").Inc()
 	return jobResult{status: http.StatusOK, body: body}
@@ -539,8 +705,9 @@ type artifactReport struct {
 // Results are memoized per fleet version (hit/miss metrics under
 // serve_fleet_cache), and for a fixed household set they are byte-identical
 // to the offline Study pipeline's output regardless of upload concurrency
-// or worker count.
-func (s *Server) RunFleetArtifact(name string) ([]byte, error) {
+// or worker count. ctx carries the request's span for tracing (use
+// context.Background() outside a request).
+func (s *Server) RunFleetArtifact(ctx context.Context, name string) ([]byte, error) {
 	a, ok := iotlan.ArtifactByName(name)
 	if !ok {
 		return nil, fmt.Errorf("unknown artifact %q", name)
@@ -561,9 +728,16 @@ func (s *Server) RunFleetArtifact(name string) ([]byte, error) {
 	// A study with the fleet dataset pre-installed runs the registered
 	// artifact exactly as the offline pipeline would; RunInspector is a
 	// no-op because the corpus is already present.
+	bStart := time.Now()
+	_, bspan := s.spans.StartSpan(ctx, "serve", "artifact.build", "artifact", a.Name)
 	study := iotlan.New(0, iotlan.WithWorkers(s.cfg.Workers), iotlan.WithHouseholds(len(ds.Households)))
 	study.Inspector = ds
 	res, err := study.RunArtifact(a.Name)
+	if err != nil {
+		bspan.Fail()
+	}
+	bspan.End()
+	s.stageObserve("artifact.build", time.Since(bStart))
 	if err != nil {
 		return nil, err
 	}
@@ -682,6 +856,39 @@ func errorBody(msg string) []byte {
 	return mustJSON(struct {
 		Error string `json:"error"`
 	}{msg})
+}
+
+// backpressureBody is the 429 payload: the error plus the admission
+// pressure the client was shed under, so client logs carry queue state.
+func (s *Server) backpressureBody(msg string, depth int) []byte {
+	return mustJSON(struct {
+		Error         string `json:"error"`
+		QueueDepth    int    `json:"queue_depth"`
+		QueueCapacity int    `json:"queue_capacity"`
+	}{msg, depth, s.cfg.QueueCapacity})
+}
+
+// logUpload emits the one structured line per upload: who, what, how long
+// in each stage, and under what admission pressure.
+func (s *Server) logUpload(kind, household string, status int, st uploadStats, cache string, admitDepth int, total time.Duration) {
+	if s.logger == nil {
+		return
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	s.logger.Info("upload",
+		"kind", kind,
+		"household", household,
+		"status", status,
+		"bytes", st.Bytes,
+		"total_ms", ms(total),
+		"queue_wait_ms", ms(st.QueueWait),
+		"body_read_ms", ms(st.BodyRead),
+		"decode_ms", ms(st.Decode),
+		"analysis_ms", ms(st.Analysis),
+		"cache_lookup_ms", ms(st.CacheLookup),
+		"cache", cache,
+		"queue_depth_admit", admitDepth,
+	)
 }
 
 // defaultWorkers mirrors the engine convention: unset means one per CPU.

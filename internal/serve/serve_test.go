@@ -173,8 +173,23 @@ func TestQueueFullBackpressure(t *testing.T) {
 	if ra := w.Header().Get("Retry-After"); ra != "3" {
 		t.Fatalf("Retry-After %q, want \"3\"", ra)
 	}
+	// The 429 body reports admission pressure so clients can log it.
+	var shed struct {
+		Error         string `json:"error"`
+		QueueDepth    int    `json:"queue_depth"`
+		QueueCapacity int    `json:"queue_capacity"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &shed); err != nil {
+		t.Fatalf("429 body not JSON: %v", err)
+	}
+	if shed.Error == "" || shed.QueueDepth != 1 || shed.QueueCapacity != 1 {
+		t.Fatalf("429 body missing queue state: %+v", shed)
+	}
 	if s.reg.CounterValue(obs.Key("serve_upload_rejected", "reason", "queue_full")) == 0 {
 		t.Fatal("queue_full rejection not counted")
+	}
+	if s.reg.CounterValue(obs.Key("serve_responses", "code", "429")) == 0 {
+		t.Fatal("429 response not counted")
 	}
 
 	release()
@@ -361,13 +376,14 @@ func TestGracefulDrain(t *testing.T) {
 // TestConcurrentIngestDeterministic: the acceptance gate — a fleet ingested
 // concurrently with 1 worker and with 4 workers yields byte-identical
 // Table 2 artifacts, both equal to the offline Study pipeline over the same
-// dataset. Worker count and upload interleaving never reach the output.
+// dataset, with request tracing on or off. Worker count, upload
+// interleaving, and telemetry never reach the output.
 func TestConcurrentIngestDeterministic(t *testing.T) {
 	const seed, households = 42, 24
 	ds := inspector.Generate(seed, households)
 
-	run := func(workers int) []byte {
-		s := newTestServer(t, Config{Workers: workers, QueueCapacity: households})
+	run := func(workers int, disableTracing bool) []byte {
+		s := newTestServer(t, Config{Workers: workers, QueueCapacity: households, DisableTracing: disableTracing})
 		var wg sync.WaitGroup
 		for _, h := range ds.Households {
 			wg.Add(1)
@@ -395,9 +411,14 @@ func TestConcurrentIngestDeterministic(t *testing.T) {
 		return w.Body.Bytes()
 	}
 
-	one, four := run(1), run(4)
+	one, four := run(1, false), run(4, false)
 	if !bytes.Equal(one, four) {
 		t.Fatalf("table2 differs between workers=1 and workers=4:\n%s\nvs\n%s", one, four)
+	}
+	// Telemetry is observational only: spans + flight recorder off must
+	// produce the same bytes as on.
+	if untraced := run(4, true); !bytes.Equal(one, untraced) {
+		t.Fatalf("table2 differs between tracing on and off:\n%s\nvs\n%s", one, untraced)
 	}
 
 	// And both must match the offline pipeline byte for byte.
@@ -495,24 +516,45 @@ func TestReportAndFleetEndpoints(t *testing.T) {
 	}
 }
 
-// TestDebugEndpoints: the operational surface serves metrics JSON, expvar,
-// and the pprof index from the same mux.
+// TestDebugEndpoints: the operational surface serves Prometheus text at
+// /metrics, the registries as JSON at /debug/metrics.json, expvar, and the
+// pprof index from the same mux.
 func TestDebugEndpoints(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1})
 	if w := do(s, "POST", "/v1/ingest/inspector", wireBody(t, inspector.Generate(8, 1).Households...)); w.Code != http.StatusOK {
 		t.Fatalf("ingest: %d", w.Code)
 	}
 	m := do(s, "GET", "/metrics", nil)
-	if m.Code != http.StatusOK || !strings.Contains(m.Body.String(), `"serve"`) {
-		t.Fatalf("/metrics: %d %s", m.Code, m.Body.String())
+	if m.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", m.Code)
+	}
+	if ct := m.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q, want Prometheus exposition", ct)
+	}
+	for _, want := range []string{
+		"# TYPE serve_uploads counter",
+		"# TYPE serve_stage_ms histogram",
+		`serve_stage_ms_bucket{le="+Inf",stage="queue.wait"}`,
+		"serve_queue_depth",
+		"serve_workers_busy",
+		`serve_responses{code="200"}`,
+	} {
+		if !strings.Contains(m.Body.String(), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, m.Body.String())
+		}
+	}
+
+	mj := do(s, "GET", "/debug/metrics.json", nil)
+	if mj.Code != http.StatusOK || !strings.Contains(mj.Body.String(), `"serve"`) {
+		t.Fatalf("/debug/metrics.json: %d %s", mj.Code, mj.Body.String())
 	}
 	var parsed map[string]json.RawMessage
-	if err := json.Unmarshal(m.Body.Bytes(), &parsed); err != nil {
-		t.Fatalf("/metrics not JSON: %v", err)
+	if err := json.Unmarshal(mj.Body.Bytes(), &parsed); err != nil {
+		t.Fatalf("/debug/metrics.json not JSON: %v", err)
 	}
 	var quant map[string]float64
 	if err := json.Unmarshal(parsed["serve_latency_quantiles_ms"], &quant); err != nil {
-		t.Fatalf("latency quantiles missing from /metrics: %v", err)
+		t.Fatalf("latency quantiles missing from /debug/metrics.json: %v", err)
 	}
 	if quant["p50"] > quant["p99"] {
 		t.Fatalf("quantiles not monotone: %v", quant)
