@@ -27,7 +27,7 @@ var (
 func benchStudy(b *testing.B) *Study {
 	b.Helper()
 	benchOnce.Do(func() {
-		s := NewStudy(7)
+		s := New(7)
 		s.IdleDuration = 30 * time.Minute
 		s.Interactions = 60
 		s.Households = 1500

@@ -24,7 +24,7 @@ func main() {
 	out := flag.String("out", "", "directory for per-device pcap files (empty = skip)")
 	flag.Parse()
 
-	s := iotlan.NewStudy(*seed)
+	s := iotlan.New(*seed)
 	s.IdleDuration = *idle
 	s.Interactions = *interactions
 	start := time.Now()

@@ -327,8 +327,11 @@ func scrapeStageQuantiles(client *http.Client, base string) (map[string]stageQua
 	return out, nil
 }
 
-// post sends one upload, honoring 429 backpressure by sleeping the server's
-// Retry-After hint and retrying. Only a non-429 failure drops the upload.
+// post sends one upload, honoring backpressure by sleeping the server's
+// retry hint and retrying. The hint comes from the unified error envelope's
+// retry_after_ms (every 4xx/5xx carries it), with the Retry-After header as
+// the fallback for proxies that strip bodies. A shed 429 always retries; any
+// other failure retries only if the envelope says it is worth it.
 func post(client *http.Client, base string, u upload) outcome {
 	var o outcome
 	start := time.Now()
@@ -339,28 +342,42 @@ func post(client *http.Client, base string, u upload) outcome {
 			o.latency = time.Since(start)
 			return o
 		}
-		io.Copy(io.Discard, resp.Body)
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		resp.Body.Close()
-		switch {
-		case resp.StatusCode == http.StatusOK:
+		if resp.StatusCode == http.StatusOK {
 			o.cacheHit = resp.Header.Get("X-Cache") == "hit"
 			o.latency = time.Since(start)
 			return o
-		case resp.StatusCode == http.StatusTooManyRequests:
-			o.retries++
-			secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
-			if secs < 1 {
-				secs = 1
-			}
-			// Sleep a fraction of the hint with jitter-free backoff: the
-			// hint is a ceiling for politeness, not a mandatory stall.
-			time.Sleep(time.Duration(secs) * time.Second / 4)
-		default:
+		}
+		hint := retryHint(resp, body)
+		if resp.StatusCode != http.StatusTooManyRequests && hint <= 0 {
 			o.dropped = true
 			o.latency = time.Since(start)
 			return o
 		}
+		o.retries++
+		// Sleep a fraction of the hint with jitter-free backoff: the hint is
+		// a ceiling for politeness, not a mandatory stall.
+		time.Sleep(hint / 4)
 	}
+}
+
+// retryHint extracts the server's backoff hint: envelope retry_after_ms
+// first, Retry-After header second, one second as the 429 floor.
+func retryHint(resp *http.Response, body []byte) time.Duration {
+	var env struct {
+		RetryAfterMS int64 `json:"retry_after_ms"`
+	}
+	if err := json.Unmarshal(body, &env); err == nil && env.RetryAfterMS > 0 {
+		return time.Duration(env.RetryAfterMS) * time.Millisecond
+	}
+	if secs, _ := strconv.Atoi(resp.Header.Get("Retry-After")); secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return time.Second
+	}
+	return 0
 }
 
 // fetchArtifact pulls a fleet artifact and reshapes it as an iotlan.Result

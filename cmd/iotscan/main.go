@@ -23,7 +23,7 @@ func main() {
 	full := flag.Bool("full", false, "sweep all 65,535 TCP ports (slow)")
 	flag.Parse()
 
-	s := iotlan.NewStudy(*seed)
+	s := iotlan.New(*seed)
 	s.IdleDuration = 10 * time.Minute
 	s.FullPortSweep = *full
 	s.RunScans()

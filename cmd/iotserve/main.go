@@ -25,6 +25,9 @@
 //	iotserve [-addr :8080] [-workers N] [-queue 64] [-max-upload 67108864]
 //	         [-timeout 30s] [-retry-after 1s] [-cache 4096]
 //	         [-log-format text|json] [-trace=true] [-flight 256]
+//	iotserve -selftest    # serve an in-sim fleet over the virtual LAN
+//	                      # (internal/vnet), verify artifacts, exit — no
+//	                      # sockets, ports, or network privileges needed
 package main
 
 import (
@@ -55,7 +58,16 @@ func main() {
 	logFormat := flag.String("log-format", "text", "structured request log format: text, json, or none")
 	trace := flag.Bool("trace", true, "record per-upload spans into the flight recorder")
 	flight := flag.Int("flight", 0, "flight recorder capacity: recent traces retained (0 = default)")
+	selftest := flag.Bool("selftest", false, "serve an in-sim fleet over the virtual LAN (no sockets), verify artifacts, and exit")
 	flag.Parse()
+
+	if *selftest {
+		if err := runSelftest(42, 8); err != nil {
+			fmt.Fprintln(os.Stderr, "iotserve: selftest:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var logger *slog.Logger
 	switch *logFormat {

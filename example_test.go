@@ -7,9 +7,9 @@ import (
 	"iotlan"
 )
 
-// ExampleNewStudy shows the minimal passive-capture workflow.
-func ExampleNewStudy() {
-	study := iotlan.NewStudy(7)
+// ExampleNew shows the minimal passive-capture workflow.
+func ExampleNew() {
+	study := iotlan.New(7)
 	study.IdleDuration = 5 * time.Minute
 	study.RunPassive()
 
@@ -21,7 +21,7 @@ func ExampleNewStudy() {
 
 // ExampleStudy_Figure1 regenerates the device-to-device graph headline.
 func ExampleStudy_Figure1() {
-	study := iotlan.NewStudy(7)
+	study := iotlan.New(7)
 	study.IdleDuration = 20 * time.Minute
 	f1 := study.Figure1() // runs the passive capture on demand
 	fmt.Printf("talkers above zero: %v\n", f1.Metrics["talker_fraction"] > 0)
@@ -30,7 +30,7 @@ func ExampleStudy_Figure1() {
 
 // ExampleStudy_Mitigations quantifies the §7 countermeasures.
 func ExampleStudy_Mitigations() {
-	study := iotlan.NewStudy(7)
+	study := iotlan.New(7)
 	study.Households = 500
 	m := study.Mitigations()
 	baseline := m.Metrics["reid_rate/none"]

@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	study := iotlan.NewStudy(9)
+	study := iotlan.New(9)
 	study.IdleDuration = 10 * time.Minute
 	study.RunPassive()
 

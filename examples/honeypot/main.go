@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	study := iotlan.NewStudy(5)
+	study := iotlan.New(5)
 	study.IdleDuration = 20 * time.Minute
 	study.RunPassive() // the study deploys its own honeypot during capture
 

@@ -11,7 +11,7 @@ import (
 )
 
 func main() {
-	study := iotlan.NewStudy(42)
+	study := iotlan.New(42)
 	study.IdleDuration = 15 * time.Minute
 	study.Interactions = 20
 	study.RunPassive()

@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	study := iotlan.NewStudy(7)
+	study := iotlan.New(7)
 	study.IdleDuration = 10 * time.Minute
 	study.RunScans()
 	study.RunVulnScans()

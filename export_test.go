@@ -55,7 +55,7 @@ func TestExportWritesAllDatasets(t *testing.T) {
 }
 
 func TestExportOnEmptyStudySkipsGracefully(t *testing.T) {
-	s := NewStudy(99)
+	s := New(99)
 	dir := t.TempDir()
 	if err := s.Export(dir); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,169 @@
+package honeypot_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"iotlan/internal/honeypot"
+	"iotlan/internal/lan"
+	"iotlan/internal/netx"
+	"iotlan/internal/sim"
+	"iotlan/internal/ssdp"
+	"iotlan/internal/stack"
+	"iotlan/internal/vnet"
+)
+
+// TestServerInSim runs the deployment-mode honeypot Server — the code path
+// meant for a real home LAN — on the simulated network by handing it a
+// vnet.Net instead of the standard library, then probes all three services
+// from a second simulated host. The accept loops, session handling and
+// deadline logic under test are byte-for-byte the ones a real deployment
+// runs.
+func TestServerInSim(t *testing.T) {
+	sched := sim.NewScheduler(5)
+	ln := lan.New(sched)
+	mk := func(last byte) *stack.Host {
+		h := stack.NewHost(ln, netx.MAC{2, 0, 0, 0, 0, last}, stack.DefaultPolicy)
+		h.SetIPv4(netip.AddrFrom4([4]byte{192, 168, 10, last}))
+		return h
+	}
+	pump := vnet.NewPump(sched)
+	hpNet := vnet.New(pump, mk(10))
+	prober := vnet.New(pump, mk(11))
+
+	hp := honeypot.New("fake-hue", 5)
+	srv := &honeypot.Server{
+		HP:         hp,
+		Net:        hpNet,
+		SSDPAddr:   ":1900",
+		HTTPAddr:   ":8080",
+		TelnetAddr: ":2323",
+	}
+	if err := srv.Start(context.Background()); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer srv.Close()
+
+	done := pump.Go(func() {
+		// SSDP: an M-SEARCH must come back with the honeytoken UUID.
+		pc, err := prober.ListenPacket("udp4", ":0")
+		if err != nil {
+			t.Errorf("prober listen: %v", err)
+			return
+		}
+		defer pc.Close()
+		dst := &vnetUDPAddr{addr: "192.168.10.10:1900"}
+		if _, err := pc.WriteTo(ssdp.MSearch(ssdp.TargetBasic, 1), dst); err != nil {
+			t.Errorf("ssdp write: %v", err)
+			return
+		}
+		pc.SetReadDeadline(prober.Now().Add(2 * time.Second))
+		buf := make([]byte, 2048)
+		n, _, err := pc.ReadFrom(buf)
+		if err != nil {
+			t.Errorf("ssdp read: %v", err)
+			return
+		}
+		if !hp.TokenAppearsIn(buf[:n]) {
+			t.Errorf("ssdp response lacks honeytoken: %q", buf[:n])
+		}
+
+		// HTTP: the description document carries the token.
+		c, err := prober.DialContext(context.Background(), "tcp", "192.168.10.10:8080")
+		if err != nil {
+			t.Errorf("http dial: %v", err)
+			return
+		}
+		fmt.Fprintf(c, "GET /description.xml HTTP/1.1\r\nHost: honeypot\r\n\r\n")
+		resp := readUntilClose(c, 5*time.Second, prober)
+		c.Close()
+		if !bytes.Contains(resp, []byte("200 OK")) || !hp.TokenAppearsIn(resp) {
+			t.Errorf("http response missing status or token: %q", resp)
+		}
+
+		// Telnet: a full login attempt must be captured.
+		tc, err := prober.DialContext(context.Background(), "tcp", "192.168.10.10:2323")
+		if err != nil {
+			t.Errorf("telnet dial: %v", err)
+			return
+		}
+		defer tc.Close()
+		tc.SetReadDeadline(prober.Now().Add(2 * time.Second))
+		greet := make([]byte, 512)
+		if _, err := tc.Read(greet); err != nil {
+			t.Errorf("telnet greeting: %v", err)
+			return
+		}
+		tc.Write([]byte("root\r\n"))
+		tc.SetReadDeadline(prober.Now().Add(2 * time.Second))
+		if _, err := tc.Read(greet); err != nil {
+			t.Errorf("telnet password prompt: %v", err)
+			return
+		}
+		tc.Write([]byte("hunter2\r\n"))
+		tc.SetReadDeadline(prober.Now().Add(2 * time.Second))
+		tc.Read(greet) // login-failed reply; content covered by telnetx tests
+	})
+
+	pump.RunFor(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("prober did not finish")
+	}
+
+	got := hp.Interactions()
+	for _, proto := range []string{"ssdp", "http", "telnet"} {
+		if got[proto] == 0 {
+			t.Errorf("no %s interactions logged: %v", proto, got)
+		}
+	}
+	var loginLogged bool
+	probeAddr := netip.AddrFrom4([4]byte{192, 168, 10, 11})
+	for _, e := range hp.Events {
+		if e.From != probeAddr {
+			t.Errorf("event %v from %v, want %v", e.Detail, e.From, probeAddr)
+		}
+		if e.Proto == "telnet" && e.Detail == "login root:hunter2" {
+			loginLogged = true
+		}
+		if e.Time.Before(sim.Epoch) || e.Time.After(sim.Epoch.Add(time.Hour)) {
+			t.Errorf("event %v stamped %v, outside the simulated window (wall clock leaked in?)", e.Detail, e.Time)
+		}
+	}
+	if !loginLogged {
+		t.Errorf("telnet credentials not captured; events: %+v", hp.Events)
+	}
+}
+
+// readUntilClose drains c until EOF or the deadline, extending the read
+// deadline per chunk.
+func readUntilClose(c net.Conn, per time.Duration, n *vnet.Net) []byte {
+	var out []byte
+	buf := make([]byte, 4096)
+	for {
+		c.SetReadDeadline(n.Now().Add(per))
+		k, err := c.Read(buf)
+		out = append(out, buf[:k]...)
+		if err != nil {
+			if err != io.EOF {
+				// Deadline expiry also ends the drain; the assertions on the
+				// accumulated bytes decide pass/fail.
+				_ = err
+			}
+			return out
+		}
+	}
+}
+
+// vnetUDPAddr satisfies net.Addr for WriteTo against the virtual fabric.
+type vnetUDPAddr struct{ addr string }
+
+func (a *vnetUDPAddr) Network() string { return "udp" }
+func (a *vnetUDPAddr) String() string  { return a.addr }

@@ -9,15 +9,20 @@ import (
 	"sync"
 	"time"
 
+	"iotlan/internal/netx"
 	"iotlan/internal/ssdp"
 	"iotlan/internal/telnetx"
 )
 
-// Server runs the honeypot on a real network using the standard library —
-// the deployment mode for an actual home LAN. Ports are configurable since
-// the well-known ones need elevated privileges.
+// Server runs the honeypot against a netx.Fabric: the standard library for a
+// real home LAN (the default), or a vnet.Net to exercise the exact same
+// accept loops and session code on the simulated LAN. Ports are configurable
+// since the well-known ones need elevated privileges on a real host.
 type Server struct {
 	HP *Honeypot
+	// Net is the network to bind on. Nil means the standard library
+	// (netx.System); pass a *vnet.Net to run in-sim.
+	Net netx.Fabric
 	// SSDPAddr is the UDP listen address for SSDP (default ":1900").
 	SSDPAddr string
 	// HTTPAddr is the TCP listen address for the description server
@@ -30,10 +35,18 @@ type Server struct {
 	listeners []interface{ Close() error }
 }
 
+func (s *Server) fabric() netx.Fabric {
+	if s.Net == nil {
+		return netx.System{}
+	}
+	return s.Net
+}
+
 func (s *Server) logLocked(proto string, from netip.Addr, detail string) {
+	now := s.fabric().Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.HP.log(time.Now(), proto, from, detail)
+	s.HP.log(now, proto, from, detail)
 }
 
 // Start binds all listeners and serves until ctx is cancelled.
@@ -86,11 +99,12 @@ func addrOf(a net.Addr) netip.Addr {
 	if err != nil {
 		return netip.Addr{}
 	}
-	return ap.Addr()
+	return ap.Addr().Unmap()
 }
 
 func (s *Server) startSSDP() error {
-	pc, err := net.ListenPacket("udp4", s.SSDPAddr)
+	fab := s.fabric()
+	pc, err := fab.ListenPacket("udp4", s.SSDPAddr)
 	if err != nil {
 		return fmt.Errorf("honeypot: ssdp listen: %w", err)
 	}
@@ -120,7 +134,8 @@ func (s *Server) startSSDP() error {
 }
 
 func (s *Server) startHTTP() error {
-	l, err := net.Listen("tcp", s.HTTPAddr)
+	fab := s.fabric()
+	l, err := fab.Listen("tcp", s.HTTPAddr)
 	if err != nil {
 		return fmt.Errorf("honeypot: http listen: %w", err)
 	}
@@ -138,7 +153,7 @@ func (s *Server) startHTTP() error {
 			}
 			go func(conn net.Conn) {
 				defer conn.Close()
-				conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+				conn.SetReadDeadline(fab.Now().Add(5 * time.Second))
 				buf := make([]byte, 4096)
 				n, err := conn.Read(buf)
 				if err != nil {
@@ -159,7 +174,8 @@ func (s *Server) startHTTP() error {
 }
 
 func (s *Server) startTelnet() error {
-	l, err := net.Listen("tcp", s.TelnetAddr)
+	fab := s.fabric()
+	l, err := fab.Listen("tcp", s.TelnetAddr)
 	if err != nil {
 		return fmt.Errorf("honeypot: telnet listen: %w", err)
 	}
@@ -178,7 +194,7 @@ func (s *Server) startTelnet() error {
 				conn.Write(sess.Greeting())
 				buf := make([]byte, 512)
 				for {
-					conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+					conn.SetReadDeadline(fab.Now().Add(30 * time.Second))
 					n, err := conn.Read(buf)
 					if err != nil {
 						return

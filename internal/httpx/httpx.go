@@ -3,6 +3,13 @@
 // channels: device description XML, SOAP control endpoints, camera snapshot
 // services, and Server/User-Agent headers leaking OS and firmware versions
 // (§5.2).
+//
+// httpx is the callback-idiom server for simulated device firmware —
+// hundreds of tiny endpoints that live entirely on the event loop. New code
+// that wants real stdlib HTTP semantics (net/http handlers, streaming
+// bodies, middleware) should instead serve an ordinary http.Server over a
+// vnet.Listener; see internal/vnet and DESIGN.md "Virtual net" for the
+// split.
 package httpx
 
 import (

@@ -1,0 +1,44 @@
+package netx
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// Fabric abstracts the network a component binds to, so the same serving
+// code runs against real sockets in a deployment and against the simulated
+// LAN in tests. Two implementations exist: System (standard library,
+// wall-clock time) and vnet.Net (virtual hosts, virtual time). Components
+// that take a Fabric must use its Now for deadlines and timestamps —
+// mixing time.Now into virtual-net code couples behaviour to the real
+// scheduler and breaks determinism.
+type Fabric interface {
+	DialContext(ctx context.Context, network, addr string) (net.Conn, error)
+	Listen(network, addr string) (net.Listener, error)
+	ListenPacket(network, addr string) (net.PacketConn, error)
+	Now() time.Time
+}
+
+// System is the standard-library Fabric: real sockets and wall-clock time.
+// The zero value is ready to use.
+type System struct{}
+
+// DialContext dials with a default net.Dialer.
+func (System) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, network, addr)
+}
+
+// Listen binds a real TCP listener.
+func (System) Listen(network, addr string) (net.Listener, error) {
+	return net.Listen(network, addr)
+}
+
+// ListenPacket binds a real UDP socket.
+func (System) ListenPacket(network, addr string) (net.PacketConn, error) {
+	return net.ListenPacket(network, addr)
+}
+
+// Now returns wall-clock time.
+func (System) Now() time.Time { return time.Now() }

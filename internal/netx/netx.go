@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net/netip"
+	"strconv"
 	"strings"
 )
 
@@ -289,4 +290,29 @@ func LinkLocalV6(m MAC) netip.Addr {
 	a[11], a[12] = 0xff, 0xfe
 	a[13], a[14], a[15] = m[3], m[4], m[5]
 	return netip.AddrFrom16(a)
+}
+
+// SplitAddrPort parses a "host:port" dial/listen address into its parts.
+// Unlike netip.ParseAddrPort it accepts the listen-style empty host
+// (":8080"), returning the zero Addr for it — callers substitute their own
+// bound address. Hostnames are rejected: the simulated LAN has no resolver.
+func SplitAddrPort(s string) (netip.Addr, uint16, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return netip.Addr{}, 0, fmt.Errorf("address %q: missing port", s)
+	}
+	p, err := strconv.ParseUint(s[i+1:], 10, 16)
+	if err != nil {
+		return netip.Addr{}, 0, fmt.Errorf("address %q: bad port: %v", s, err)
+	}
+	host := s[:i]
+	if host == "" || host == "0.0.0.0" || host == "::" || host == "[::]" {
+		return netip.Addr{}, uint16(p), nil
+	}
+	host = strings.TrimPrefix(strings.TrimSuffix(host, "]"), "[")
+	addr, err := netip.ParseAddr(host)
+	if err != nil {
+		return netip.Addr{}, 0, fmt.Errorf("address %q: %v (hostnames are not resolvable on the simulated LAN)", s, err)
+	}
+	return addr.Unmap(), uint16(p), nil
 }

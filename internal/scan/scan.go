@@ -112,20 +112,12 @@ func (s *Scanner) Scan(target netip.Addr, done func(*Result)) {
 		protos = CommonProtos()
 	}
 
-	remaining := len(tcpPorts)
-	for _, port := range tcpPorts {
-		port := port
-		s.Host.SynProbe(target, port, func(open bool) {
-			res.RespondedTCP = true
-			if open {
-				res.TCPOpen = append(res.TCPOpen, port)
-				res.Services["tcp/"+itoa(port)] = GuessService("tcp", port)
-			}
-			remaining--
-		})
-	}
-
-	_ = remaining // SYN probes self-report; the deadline below collects them
+	// Prime ARP/NDP with the discovery ping before the port sweep fires: a
+	// present target's MAC is cached by the time the thousands of probe
+	// frames below go out, so none of them park on the bounded arpWait
+	// queue. An absent target sheds the burst at that bound instead — the
+	// verdicts don't change (nothing would have answered), the memory does.
+	s.Host.Ping(target, 0x5ca0, 1)
 
 	// UDP scan: match ICMP port-unreachables back to probes via the
 	// embedded original header; any datagram back from a probed port means
@@ -169,14 +161,25 @@ func (s *Scanner) Scan(target netip.Addr, done func(*Result)) {
 			res.Services["udp/"+itoa(dg.SrcPort)] = GuessService("udp", dg.SrcPort)
 		}
 	})
-	for _, port := range udpPorts {
-		sock.SendTo(target, port, probePayload(port))
-	}
-
-	for _, proto := range protos {
-		s.Host.SendIPv4Proto(target, proto, []byte{0, 0, 0, 0})
-	}
-	s.Host.Ping(target, 0x5ca0, 1)
+	// The sweep proper waits out the ping's resolution round-trip.
+	s.Host.Sched.AfterTagged("scan", 2*time.Millisecond, func() {
+		for _, port := range tcpPorts {
+			port := port
+			s.Host.SynProbe(target, port, func(open bool) {
+				res.RespondedTCP = true
+				if open {
+					res.TCPOpen = append(res.TCPOpen, port)
+					res.Services["tcp/"+itoa(port)] = GuessService("tcp", port)
+				}
+			})
+		}
+		for _, port := range udpPorts {
+			sock.SendTo(target, port, probePayload(port))
+		}
+		for _, proto := range protos {
+			s.Host.SendIPv4Proto(target, proto, []byte{0, 0, 0, 0})
+		}
+	})
 
 	// Collect after the probes settle. Ten simulated seconds cover probe
 	// RTTs plus the SynProbe reaping window.

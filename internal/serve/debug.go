@@ -118,7 +118,7 @@ func registerDebug(mux *http.ServeMux, s *Server, extra ...MetricsSource) {
 		// (or after) an incident.
 		mux.HandleFunc("GET /debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
 			if s.flight == nil {
-				writeJSON(w, http.StatusNotFound, errorBody("tracing disabled"))
+				writeJSON(w, http.StatusNotFound, s.errEnvelope("tracing disabled", 0))
 				return
 			}
 			w.Header().Set("Content-Type", "application/json")

@@ -40,12 +40,12 @@ func (s *Server) handleUpload(kind string) http.HandlerFunc {
 		start := time.Now()
 		household := r.PathValue("id")
 		if kind == "capture" && household == "" {
-			s.respond(w, http.StatusBadRequest, errorBody("missing household id"))
+			s.respond(w, http.StatusBadRequest, s.errEnvelope("missing household id", 0))
 			return
 		}
 		if s.draining.Load() {
 			s.reg.Counter("serve_upload_rejected", "reason", "draining").Inc()
-			s.respond(w, http.StatusServiceUnavailable, errorBody("server draining"))
+			s.respond(w, http.StatusServiceUnavailable, s.errEnvelope("server draining", s.cfg.RetryAfter))
 			s.logUpload(kind, household, http.StatusServiceUnavailable, uploadStats{}, "none", len(s.queue), time.Since(start))
 			return
 		}
@@ -74,7 +74,7 @@ func (s *Server) handleUpload(kind string) http.HandlerFunc {
 			root.End()
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 			s.respond(w, http.StatusTooManyRequests,
-				s.backpressureBody("ingestion queue full, retry later", len(s.queue)))
+				s.errEnvelope("ingestion queue full, retry later", s.cfg.RetryAfter))
 			s.logUpload(kind, household, http.StatusTooManyRequests, uploadStats{}, "none", admitDepth, time.Since(start))
 			return
 		}
@@ -109,7 +109,7 @@ func (s *Server) handleUpload(kind string) http.HandlerFunc {
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	body, ok := s.report(r.PathValue("id"))
 	if !ok {
-		s.respond(w, http.StatusNotFound, errorBody("unknown household"))
+		s.respond(w, http.StatusNotFound, s.errEnvelope("unknown household", 0))
 		return
 	}
 	s.respond(w, http.StatusOK, body)
@@ -127,7 +127,7 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		}
 		root.SetAttr("status", strconv.Itoa(status))
 		root.End()
-		s.respond(w, status, errorBody(err.Error()))
+		s.respond(w, status, s.errEnvelope(err.Error(), 0))
 		return
 	}
 	root.SetAttr("status", "200")
@@ -149,6 +149,10 @@ func (s *Server) respond(w http.ResponseWriter, status int, body []byte) {
 
 func writeJSON(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
+	// Explicit Content-Length keeps responses identity-framed whatever their
+	// size, so minimal HTTP/1.1 clients (the in-sim vnet smoke, shell tools)
+	// never need chunked decoding.
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(status)
 	w.Write(body)
 }

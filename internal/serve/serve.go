@@ -380,7 +380,7 @@ func (s *Server) process(j *job) {
 		// still waiting on done and relays the 503.
 		s.reg.Counter("serve_jobs_cancelled", "kind", j.kind).Inc()
 		s.reg.Counter("serve_upload_rejected", "reason", "timeout").Inc()
-		j.done <- jobResult{status: http.StatusServiceUnavailable, body: errorBody("upload cancelled")}
+		j.done <- jobResult{status: http.StatusServiceUnavailable, body: s.errEnvelope("upload cancelled", s.cfg.RetryAfter)}
 		return
 	}
 	var res jobResult
@@ -531,16 +531,16 @@ func (s *Server) uploadError(err error, kind string) jobResult {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		s.reg.Counter("serve_jobs_cancelled", "kind", kind).Inc()
 		s.reg.Counter("serve_upload_rejected", "reason", "timeout").Inc()
-		return jobResult{status: http.StatusServiceUnavailable, body: errorBody("upload cancelled mid-stream")}
+		return jobResult{status: http.StatusServiceUnavailable, body: s.errEnvelope("upload cancelled mid-stream", s.cfg.RetryAfter)}
 	}
 	var maxBytes *http.MaxBytesError
 	if errors.As(err, &maxBytes) {
 		s.reg.Counter("serve_upload_rejected", "reason", "oversized").Inc()
 		return jobResult{status: http.StatusRequestEntityTooLarge,
-			body: errorBody(fmt.Sprintf("upload exceeds %d bytes", maxBytes.Limit))}
+			body: s.errEnvelope(fmt.Sprintf("upload exceeds %d bytes", maxBytes.Limit), 0)}
 	}
 	s.reg.Counter("serve_upload_rejected", "reason", "malformed").Inc()
-	return jobResult{status: http.StatusBadRequest, body: errorBody(fmt.Sprintf("malformed %s upload: %v", kind, err))}
+	return jobResult{status: http.StatusBadRequest, body: s.errEnvelope(fmt.Sprintf("malformed %s upload: %v", kind, err), 0)}
 }
 
 // captureReport is the JSON answer to a capture upload (and the capture
@@ -852,20 +852,18 @@ func mustJSON(v interface{}) []byte {
 	return append(b, '\n')
 }
 
-func errorBody(msg string) []byte {
-	return mustJSON(struct {
-		Error string `json:"error"`
-	}{msg})
-}
-
-// backpressureBody is the 429 payload: the error plus the admission
-// pressure the client was shed under, so client logs carry queue state.
-func (s *Server) backpressureBody(msg string, depth int) []byte {
+// errEnvelope renders the one error payload shape every 4xx/5xx on the v1
+// surface carries: the message, a machine-usable retry hint (0 = retrying
+// cannot help: client bugs, unknown names, oversized bodies), and the
+// admission pressure at response time, so client logs always carry queue
+// state without per-status parsing.
+func (s *Server) errEnvelope(msg string, retryAfter time.Duration) []byte {
 	return mustJSON(struct {
 		Error         string `json:"error"`
+		RetryAfterMS  int64  `json:"retry_after_ms"`
 		QueueDepth    int    `json:"queue_depth"`
 		QueueCapacity int    `json:"queue_capacity"`
-	}{msg, depth, s.cfg.QueueCapacity})
+	}{msg, retryAfter.Milliseconds(), len(s.queue), s.cfg.QueueCapacity})
 }
 
 // logUpload emits the one structured line per upload: who, what, how long

@@ -173,9 +173,11 @@ func TestQueueFullBackpressure(t *testing.T) {
 	if ra := w.Header().Get("Retry-After"); ra != "3" {
 		t.Fatalf("Retry-After %q, want \"3\"", ra)
 	}
-	// The 429 body reports admission pressure so clients can log it.
+	// The 429 body is the unified error envelope: message, machine-usable
+	// retry hint, and admission pressure.
 	var shed struct {
 		Error         string `json:"error"`
+		RetryAfterMS  int64  `json:"retry_after_ms"`
 		QueueDepth    int    `json:"queue_depth"`
 		QueueCapacity int    `json:"queue_capacity"`
 	}
@@ -184,6 +186,9 @@ func TestQueueFullBackpressure(t *testing.T) {
 	}
 	if shed.Error == "" || shed.QueueDepth != 1 || shed.QueueCapacity != 1 {
 		t.Fatalf("429 body missing queue state: %+v", shed)
+	}
+	if shed.RetryAfterMS != 3000 {
+		t.Fatalf("retry_after_ms %d, want 3000", shed.RetryAfterMS)
 	}
 	if s.reg.CounterValue(obs.Key("serve_upload_rejected", "reason", "queue_full")) == 0 {
 		t.Fatal("queue_full rejection not counted")
@@ -199,6 +204,55 @@ func TestQueueFullBackpressure(t *testing.T) {
 			t.Fatalf("accepted upload %d finished %d, want 200", i, code)
 		}
 	}
+}
+
+// TestErrorEnvelopeEverywhere: every 4xx/5xx on the v1 surface carries the
+// unified envelope — error message, retry_after_ms hint (zero when retrying
+// cannot help), and queue_depth — so clients parse one shape.
+func TestErrorEnvelopeEverywhere(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, RetryAfter: 2 * time.Second})
+	cases := []struct {
+		name, method, path string
+		body               []byte
+		want               int
+		retryable          bool
+	}{
+		{"malformed upload", "POST", "/v1/households/he/capture", []byte("junk"), 400, false},
+		{"unknown household", "GET", "/v1/households/ghost/report", nil, 404, false},
+		{"unknown artifact", "GET", "/v1/artifacts/nope", nil, 404, false},
+		{"offline artifact", "GET", "/v1/artifacts/table1", nil, 409, false},
+	}
+	check := func(name string, w *httptest.ResponseRecorder, want int, retryable bool) {
+		t.Helper()
+		if w.Code != want {
+			t.Fatalf("%s: status %d, want %d; body %s", name, w.Code, want, w.Body.String())
+		}
+		var e struct {
+			Error        *string `json:"error"`
+			RetryAfterMS *int64  `json:"retry_after_ms"`
+			QueueDepth   *int    `json:"queue_depth"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+			t.Fatalf("%s: body not JSON: %v: %s", name, err, w.Body.String())
+		}
+		if e.Error == nil || *e.Error == "" || e.RetryAfterMS == nil || e.QueueDepth == nil {
+			t.Fatalf("%s: envelope incomplete: %s", name, w.Body.String())
+		}
+		if retryable && *e.RetryAfterMS <= 0 {
+			t.Fatalf("%s: retryable error with retry_after_ms %d", name, *e.RetryAfterMS)
+		}
+		if !retryable && *e.RetryAfterMS != 0 {
+			t.Fatalf("%s: terminal error with retry_after_ms %d", name, *e.RetryAfterMS)
+		}
+	}
+	for _, c := range cases {
+		check(c.name, do(s, c.method, c.path, c.body), c.want, c.retryable)
+	}
+	// Draining 503s advertise a retry: the drain is expected to end in a
+	// restart the client can wait out.
+	s.Drain()
+	w := do(s, "POST", "/v1/households/he/capture", capturePCAP(t, inspector.Generate(11, 1).Households[0]))
+	check("draining upload", w, 503, true)
 }
 
 // TestCacheHitOnDuplicateUpload: re-uploading the same bytes answers from

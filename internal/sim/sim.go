@@ -331,6 +331,56 @@ func (s *Scheduler) Run(until time.Time) uint64 {
 	return s.Processed - start
 }
 
+// Step pops and executes the single earliest live event at or before until,
+// skipping (and recycling) cancelled events it passes on the way. It returns
+// true when a live event ran, false when the queue holds nothing runnable
+// before until. Unlike Run it never advances the clock past the event it
+// executed — external drivers (the vnet pump) interleave app goroutine
+// rendezvous between events and need the clock parked meanwhile.
+func (s *Scheduler) Step(until time.Time) bool {
+	tracing := s.Telemetry.Tracer != nil
+	for len(s.events) > 0 {
+		ev := s.events[0]
+		if ev.at.After(until) {
+			break
+		}
+		heap.Pop(&s.events)
+		if ev.fn == nil && ev.run == nil { // cancelled
+			s.Cancelled++
+			ev.st.cancelled.Inc()
+			s.recycle(ev)
+			continue
+		}
+		s.now = ev.at
+		fn, run, st := ev.fn, ev.run, ev.st
+		ev.fn, ev.run = nil, nil
+		if tracing {
+			s.Telemetry.Tracer.Event(s.VirtualMicros(), "sim", "dispatch", "source", st.name)
+		}
+		if run != nil {
+			run.Fire()
+		} else {
+			fn()
+		}
+		s.Processed++
+		st.processed.Inc()
+		s.recycle(ev)
+		s.gQueue.Set(int64(len(s.events)))
+		return true
+	}
+	s.gQueue.Set(int64(len(s.events)))
+	return false
+}
+
+// AdvanceTo moves the clock forward to t without executing events. Times in
+// the past are ignored. Step-based drivers call it once they are done
+// stepping, mirroring how Run leaves the clock at its until argument.
+func (s *Scheduler) AdvanceTo(t time.Time) {
+	if t.After(s.now) {
+		s.now = t
+	}
+}
+
 // RunFor runs the simulation for a virtual duration from the current time.
 func (s *Scheduler) RunFor(d time.Duration) uint64 { return s.Run(s.now.Add(d)) }
 

@@ -13,6 +13,7 @@ import (
 	"iotlan/internal/lan"
 	"iotlan/internal/layers"
 	"iotlan/internal/netx"
+	"iotlan/internal/obs"
 	"iotlan/internal/sim"
 )
 
@@ -56,6 +57,15 @@ type pendingFrame struct {
 	build func(dstMAC netx.MAC) []byte
 }
 
+// arpWaitMax bounds the per-destination queue of frames parked on ARP/NDP
+// resolution. A host bursting at a never-resolving target would otherwise
+// grow the queue without limit for the full 3 s give-up window; past the cap
+// new frames are dropped (tail drop, like a kernel neighbour queue), counted
+// under stack_arp_wait_dropped. Callers that legitimately burst thousands of
+// frames at one destination (the port scanner) resolve first, so the cap
+// only bites truly unresolvable targets.
+const arpWaitMax = 128
+
 // Host is one IP endpoint on the simulated LAN.
 type Host struct {
 	Net   *lan.Network
@@ -98,6 +108,10 @@ type Host struct {
 	// tcp caches the stack-layer telemetry handles (shared series across
 	// hosts; see newTCPStats).
 	tcp *tcpStats
+
+	// cARPWaitDrop counts frames dropped from a full arpWait queue (shared
+	// series across hosts, like the tcp handles).
+	cARPWaitDrop *obs.Counter
 }
 
 // NewHost attaches a new host with the given MAC to the network. The IP is
@@ -116,6 +130,8 @@ func NewHost(network *lan.Network, mac netx.MAC, policy Policy) *Host {
 		tcpConns: make(map[connKey]*TCPConn),
 		nextPort: 32768,
 		tcp:      newTCPStats(network.Sched.Telemetry.Registry),
+
+		cARPWaitDrop: network.Sched.Telemetry.Registry.Counter("stack_arp_wait_dropped"),
 	}
 	if policy.EnableIPv6 {
 		h.ip6 = netx.LinkLocalV6(mac)
@@ -361,6 +377,10 @@ func (h *Host) resolveAndSend(dst netip.Addr, build func(dstMAC netx.MAC) []byte
 		h.sendNeighborSolicit(dst)
 	} else {
 		h.ARPProbe(dst)
+	}
+	if len(h.arpWait[dst]) >= arpWaitMax {
+		h.cARPWaitDrop.Inc()
+		return
 	}
 	h.arpWait[dst] = append(h.arpWait[dst], pendingFrame{build: build})
 	// Give up after 3 s so queues don't leak when the target is absent.

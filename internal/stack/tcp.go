@@ -24,6 +24,7 @@ const (
 	stateSynReceived
 	stateEstablished
 	stateFinWait
+	stateCloseWait
 	stateClosed
 )
 
@@ -39,10 +40,23 @@ type TCPConn struct {
 	OnConnect func(c *TCPConn)
 	// OnData fires for each inbound data segment.
 	OnData func(c *TCPConn, data []byte)
-	// OnClose fires when the peer closes or resets.
+	// OnClose fires when the peer closes or resets. ClosedByRST tells the
+	// two apart.
 	OnClose func(c *TCPConn)
 	// OnRefused fires on the client when the server answers with RST.
 	OnRefused func(c *TCPConn)
+
+	// HalfClose opts in to TCP half-close semantics: a peer FIN fires OnFin
+	// and leaves the conn writable (CLOSE-WAIT) instead of auto-closing, and
+	// data arriving after a local CloseWrite is still delivered. The legacy
+	// callback protocols (httpx, device firmware) keep the default
+	// auto-close behaviour.
+	HalfClose bool
+	// OnFin fires when the peer half-closes (HalfClose mode only).
+	OnFin func(c *TCPConn)
+	// ClosedByRST records that the teardown was an inbound RST, so OnClose
+	// handlers can distinguish an abort from an orderly FIN exchange.
+	ClosedByRST bool
 
 	// UserData carries protocol state (an HTTP server's per-conn parser…).
 	UserData interface{}
@@ -122,9 +136,10 @@ func (h *Host) DialTCP(dst netip.Addr, port uint16) *TCPConn {
 	return c
 }
 
-// Send transmits payload as one PSH/ACK segment.
+// Send transmits payload as one PSH/ACK segment. A half-closed conn that
+// received the peer's FIN (CLOSE-WAIT) may still send.
 func (c *TCPConn) Send(payload []byte) {
-	if c.state != stateEstablished {
+	if c.state != stateEstablished && c.state != stateCloseWait {
 		return
 	}
 	c.host.sendTCP(c, layers.TCPPsh|layers.TCPAck, payload)
@@ -133,13 +148,36 @@ func (c *TCPConn) Send(payload []byte) {
 
 // Close sends FIN and tears the connection down after the exchange.
 func (c *TCPConn) Close() {
-	if c.state != stateEstablished && c.state != stateSynReceived {
+	switch c.state {
+	case stateEstablished, stateSynReceived:
+		c.state = stateFinWait
+		c.host.sendTCP(c, layers.TCPFin|layers.TCPAck, nil)
+		c.seq++
+	case stateCloseWait:
+		// Peer already half-closed; our FIN completes the teardown (the
+		// peer's final ACK is implicit, as in the legacy exchange).
+		c.host.sendTCP(c, layers.TCPFin|layers.TCPAck, nil)
+		c.seq++
+		c.state = stateClosed
 		delete(c.host.tcpConns, c.key)
-		return
+	default:
+		delete(c.host.tcpConns, c.key)
 	}
-	c.state = stateFinWait
-	c.host.sendTCP(c, layers.TCPFin|layers.TCPAck, nil)
-	c.seq++
+}
+
+// CloseWrite sends FIN but keeps the receive side open (TCP half-close).
+// Inbound data keeps firing OnData until the peer's own FIN arrives; further
+// Sends are discarded. Meaningful with HalfClose set — without it the peer's
+// stack answers our FIN with its own immediately, collapsing to Close.
+func (c *TCPConn) CloseWrite() {
+	switch c.state {
+	case stateEstablished, stateSynReceived:
+		c.state = stateFinWait
+		c.host.sendTCP(c, layers.TCPFin|layers.TCPAck, nil)
+		c.seq++
+	case stateCloseWait:
+		c.Close()
+	}
 }
 
 // Reset aborts with RST (used by SYN scanners and impatient clients).
@@ -268,6 +306,7 @@ func (h *Host) handleTCPConn(c *TCPConn, p *layers.Packet) {
 	if t.FlagSet(layers.TCPRst) {
 		prev := c.state
 		c.state = stateClosed
+		c.ClosedByRST = true
 		delete(h.tcpConns, c.key)
 		if prev == stateSynSent && c.OnRefused != nil {
 			c.OnRefused(c)
@@ -308,6 +347,16 @@ func (h *Host) handleTCPConn(c *TCPConn, p *layers.Packet) {
 		}
 		if t.FlagSet(layers.TCPFin) {
 			c.ack = t.Seq + 1
+			if c.HalfClose {
+				// ACK only and go CLOSE-WAIT: the app may keep sending
+				// until it Closes in turn.
+				h.sendTCP(c, layers.TCPAck, nil)
+				c.state = stateCloseWait
+				if c.OnFin != nil {
+					c.OnFin(c)
+				}
+				return
+			}
 			// ACK the FIN and send our own; peer's final ACK is implicit.
 			h.sendTCP(c, layers.TCPFin|layers.TCPAck, nil)
 			c.state = stateClosed
@@ -316,7 +365,17 @@ func (h *Host) handleTCPConn(c *TCPConn, p *layers.Packet) {
 				c.OnClose(c)
 			}
 		}
+	case stateCloseWait:
+		// Peer half-closed: nothing but ACKs of our sends arrive here.
 	case stateFinWait:
+		if data := p.AppPayload; len(data) > 0 && c.HalfClose {
+			// We half-closed; the peer may still stream data at us.
+			c.ack = t.Seq + uint32(len(data))
+			h.sendTCP(c, layers.TCPAck, nil)
+			if c.OnData != nil {
+				c.OnData(c, data)
+			}
+		}
 		if t.FlagSet(layers.TCPFin) {
 			c.ack = t.Seq + 1
 			h.sendTCP(c, layers.TCPAck, nil)

@@ -1,0 +1,264 @@
+// Package vnet adapts the callback-push surface of internal/stack into the
+// standard library's net shape — net.Conn, net.Listener, net.PacketConn and
+// a DialContext — so ordinary blocking networked code, including an
+// unmodified net/http.Server, runs inside the deterministic simulation with
+// zero real sockets.
+//
+// # Determinism discipline
+//
+// The simulation kernel is single-threaded: every stack callback fires
+// inside a scheduler event. Blocking net code is the opposite — a goroutine
+// per connection, each parked in Read/Write/Accept most of the time. The
+// Pump reconciles the two:
+//
+//   - One pump goroutine owns the scheduler. App goroutines never touch the
+//     stack directly; every operation is a closure submitted to the pump and
+//     executed there, which gives all operations a single total order and
+//     keeps the stack lock-free.
+//   - A grant counter gates the virtual clock. Completing a blocking
+//     operation grants the woken goroutine "compute with the clock frozen";
+//     entering the next operation returns the grant. The pump only advances
+//     virtual time (dispatches the next simulation event) when no goroutine
+//     holds a grant, so app compute takes zero virtual time and the event
+//     order cannot depend on how fast the real CPU ran a handler — the same
+//     contract engine.Map makes for analysis workers, applied to I/O.
+//   - Completions that typically precede a goroutine's exit (EOF, ErrClosed,
+//     connection reset, Close itself) grant nothing: a goroutine that
+//     unwinds and dies after an error must not freeze the clock forever.
+//     Grant arithmetic floors at zero, so code that keeps running after such
+//     an error self-corrects at its next operation.
+//
+// Known slack, accepted and bounded: a goroutine computing without a grant
+// (just spawned, or continuing after a terminal error) races the clock for
+// the length of that compute stretch. The pump yields through several settle
+// rounds before every clock step so such goroutines almost always get their
+// next operation in first, and a real-time stall valve (plus the
+// vnet_grant_resets counter making it observable) recovers the rare leaked
+// grant instead of deadlocking. Content-level results — served artifacts,
+// response bodies — are deterministic regardless, because the serving
+// pipeline's outputs don't depend on segment timing.
+package vnet
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"iotlan/internal/obs"
+	"iotlan/internal/sim"
+)
+
+const (
+	// settleRounds is how many yield-and-poll rounds the pump runs before
+	// concluding no app goroutine is about to submit an operation.
+	settleRounds = 8
+	// stallReset is the real-time valve on waiting for a grant holder: past
+	// it the pump assumes the grants leaked (their goroutines exited) and
+	// resets the gate rather than deadlocking the simulation.
+	stallReset = 50 * time.Millisecond
+)
+
+// Pump drives a scheduler on behalf of blocking app goroutines. Exactly one
+// Pump may drive a given scheduler; all Nets over that scheduler's LAN must
+// share it.
+type Pump struct {
+	sched *sim.Scheduler
+	calls chan func()
+	// epoch is the virtual time the pump was created at, used to classify
+	// deadlines (see abortDeadline).
+	epoch time.Time
+
+	// active counts outstanding compute grants. Only the pump goroutine
+	// touches it.
+	active int
+
+	// running is true while Run executes. Non-blocking operations issued
+	// before Run starts (test and scenario setup: Listen, ListenPacket)
+	// execute inline on the caller — at that point the caller is the only
+	// goroutine touching the scheduler, the same single-threaded contract
+	// Scheduler.Run has always had.
+	running atomic.Bool
+
+	cResets *obs.Counter
+}
+
+// NewPump wraps a scheduler for vnet use. While Run is executing, all other
+// access to the scheduler and its LAN must go through the pump.
+func NewPump(s *sim.Scheduler) *Pump {
+	return &Pump{
+		sched:   s,
+		calls:   make(chan func(), 256),
+		epoch:   s.Now(),
+		cResets: s.Telemetry.Registry.Counter("vnet_grant_resets"),
+	}
+}
+
+// abortDeadline reports whether a deadline predates the simulation epoch.
+// No in-sim deadline can be set in the past, so such a value is the stdlib's
+// "aLongTimeAgo" unblock idiom (net/http aborts pending reads with it). A
+// reader woken by an abort is about to unwind and exit, so its expiry grants
+// no compute token — granting one would leak it and couple the virtual clock
+// to the real-time stall valve.
+func (p *Pump) abortDeadline(t time.Time) bool { return t.Before(p.epoch) }
+
+// Now returns the current virtual time. Safe only from the pump goroutine or
+// while the pump is not running; in-sim goroutines that need the time mid-run
+// should capture it from operation results or use Sleep.
+func (p *Pump) Now() time.Time { return p.sched.Now() }
+
+// Go spawns an in-sim actor goroutine and returns a channel closed when it
+// finishes. It exists for symmetry and test legibility; the goroutine gets no
+// special treatment beyond the settle rounds every new goroutine relies on
+// to get its first operation in before the clock moves.
+func (p *Pump) Go(fn func()) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	return done
+}
+
+// submit queues an operation for the pump goroutine.
+func (p *Pump) submit(fn func()) { p.calls <- fn }
+
+// release returns the calling goroutine's compute grant (operation entry).
+func (p *Pump) release() {
+	if p.active > 0 {
+		p.active--
+	}
+}
+
+// grant hands out n compute grants (operation completion).
+func (p *Pump) grant(n int) { p.active += n }
+
+// exec runs fn on the pump goroutine and blocks the caller until it ran. The
+// caller is treated as paused during fn and resumed after — the shape of a
+// non-blocking operation (Write, SetDeadline, CloseWrite).
+func (p *Pump) exec(fn func()) {
+	if !p.running.Load() {
+		fn()
+		return
+	}
+	done := make(chan struct{})
+	p.submit(func() {
+		p.release()
+		fn()
+		p.grant(1)
+		close(done)
+	})
+	<-done
+}
+
+// execTerminal is exec for operations after which the caller may never call
+// in again (Close): the completion grants nothing.
+func (p *Pump) execTerminal(fn func()) {
+	if !p.running.Load() {
+		fn()
+		return
+	}
+	done := make(chan struct{})
+	p.submit(func() {
+		p.release()
+		fn()
+		close(done)
+	})
+	<-done
+}
+
+// Sleep parks the calling goroutine for a virtual duration. The wake is a
+// granted completion, so the caller's follow-up compute is clock-frozen like
+// any read result.
+func (p *Pump) Sleep(d time.Duration) {
+	ch := make(chan struct{}, 1)
+	p.submit(func() {
+		p.release()
+		p.sched.AfterTagged("vnet", d, func() {
+			p.grant(1)
+			ch <- struct{}{}
+		})
+	})
+	<-ch
+}
+
+// Run drives the simulation until the virtual clock reaches until, giving
+// app goroutines their rendezvous between events. It replaces
+// Scheduler.Run/RunFor whenever vnet connections are in play.
+func (p *Pump) Run(until time.Time) {
+	p.running.Store(true)
+	defer p.running.Store(false)
+	for {
+		// Drain every queued operation first: operations never advance the
+		// clock, so draining is always safe and keeps the total order long.
+		draining := true
+		for draining {
+			select {
+			case fn := <-p.calls:
+				fn()
+			default:
+				draining = false
+			}
+		}
+		if p.active > 0 {
+			// Somebody computes with the clock frozen; wait for their next
+			// operation. The valve recovers grants leaked by goroutines
+			// that exited after a granted completion.
+			select {
+			case fn := <-p.calls:
+				fn()
+			case <-time.After(stallReset):
+				p.cResets.Add(uint64(p.active))
+				p.active = 0
+			}
+			continue
+		}
+		if p.settle() {
+			continue
+		}
+		if p.sched.Step(until) {
+			continue
+		}
+		// No grants, no operations after settling, no events before until:
+		// one last generous settle for goroutines the runtime parked
+		// mid-compute, then finish.
+		if p.settleHard() {
+			continue
+		}
+		p.sched.AdvanceTo(until)
+		return
+	}
+}
+
+// RunFor is Run for a duration from the current virtual time.
+func (p *Pump) RunFor(d time.Duration) { p.Run(p.sched.Now().Add(d)) }
+
+// settle yields the processor a few times, giving runnable goroutines the
+// chance to submit their next operation before the clock moves. Reports
+// whether any operation was processed.
+func (p *Pump) settle() bool {
+	for i := 0; i < settleRounds; i++ {
+		runtime.Gosched()
+		select {
+		case fn := <-p.calls:
+			fn()
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// settleHard is settle with real-time backoff, used only right before Run
+// returns: a goroutine preempted mid-compute gets up to ~2 ms of wall time
+// to land its operation instead of being stranded past the end of Run.
+func (p *Pump) settleHard() bool {
+	for i := 0; i < 20; i++ {
+		select {
+		case fn := <-p.calls:
+			fn()
+			return true
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+	return false
+}

@@ -7,7 +7,7 @@
 //
 // Quick start:
 //
-//	study := iotlan.NewStudy(1)
+//	study := iotlan.New(1)
 //	study.RunPassive()
 //	fmt.Println(study.Figure1().Rendered)
 //
@@ -42,7 +42,7 @@ import (
 )
 
 // Study orchestrates a full reproduction run. Zero value is not usable; use
-// New (or the deprecated NewStudy).
+// New.
 type Study struct {
 	// Seed drives every random decision; equal seeds give byte-identical
 	// captures.
@@ -164,11 +164,6 @@ func New(seed int64, opts ...Option) *Study {
 	}
 	return s
 }
-
-// NewStudy builds a study with default parameters.
-//
-// Deprecated: use New, which accepts functional options.
-func NewStudy(seed int64) *Study { return New(seed) }
 
 // phase wraps one pipeline stage with wall-clock, event-count, and
 // virtual-time accounting. The event/virtual deltas also land in the

@@ -15,7 +15,7 @@ var testStudy *Study
 func study(t *testing.T) *Study {
 	t.Helper()
 	if testStudy == nil {
-		s := NewStudy(7)
+		s := New(7)
 		s.IdleDuration = 30 * time.Minute
 		s.Interactions = 60
 		s.Households = 1200

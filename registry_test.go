@@ -86,12 +86,7 @@ func TestNeedMaskString(t *testing.T) {
 	}
 }
 
-func TestNewStudyMatchesNewDefaults(t *testing.T) {
-	a, b := NewStudy(11), New(11)
-	if a.Seed != b.Seed || a.IdleDuration != b.IdleDuration ||
-		a.Interactions != b.Interactions || a.Households != b.Households {
-		t.Fatalf("NewStudy diverged from New: %+v vs %+v", a, b)
-	}
+func TestNewOptions(t *testing.T) {
 	c := New(11, WithHouseholds(10), WithInteractions(5), WithWorkers(2), WithApps(1))
 	if c.Households != 10 || c.Interactions != 5 || c.Workers != 2 || c.AppsToRun != 1 {
 		t.Fatalf("options not applied: %+v", c)
