@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench2 bench3 bench4 bench5 microbench repro serve examples clean
+.PHONY: all build vet test race verify bench bench2 bench3 bench4 bench5 bench6 microbench repro serve examples clean
 
 all: build vet test
 
@@ -58,6 +58,15 @@ bench4:
 # within 5% of bench4 — the cost of always-on spans and histograms.
 bench5:
 	$(GO) run ./cmd/iotload -households 200 -concurrency 16 -seed 1 -out BENCH_5.json
+
+# Scale benchmark: 100k streamed synthetic households into a sharded
+# self-hosted server (uploaders draw households on demand; the offline gate
+# folds batched entropy partials, so neither side materializes the corpus).
+# Gates: zero drops, and the served fleet Table 2 checksums identical to the
+# offline pipeline. Records BENCH_6.json.
+bench6:
+	$(GO) run ./cmd/iotload -households 100000 -mode inspector -stream \
+		-concurrency 32 -seed 1 -dup-frac 0 -shards 8 -out BENCH_6.json
 
 # Run the capture-ingestion service on :8080.
 serve:

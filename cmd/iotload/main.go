@@ -21,11 +21,22 @@
 // malformed page or empty per-stage histograms fail the run — observability
 // regressions break the bench, not just dashboards.
 //
+// -stream switches to streamed generation for very large fleets (the
+// BENCH_6 gate runs ≥100k households): uploaders draw each household on
+// demand from inspector.Generator instead of materializing the corpus, and
+// the offline side of the determinism gate folds batched entropy partials
+// (analysis.EntropyPartialOf + MergeEntropy) so neither side ever holds the
+// full fleet. -shards sizes the self-hosted server's fleet sharding, and
+// -data-dir makes it durable (WAL + checkpoints), so one command exercises
+// the full sharded/durable ingest path.
+//
 // Usage:
 //
 //	iotload [-households 200] [-concurrency 16] [-seed 1]
 //	        [-mode mixed|inspector|capture] [-dup-frac 0.25]
-//	        [-addr host:port] [-queue 64] [-workers N] [-out BENCH_5.json]
+//	        [-addr host:port] [-queue 64] [-workers N] [-shards N]
+//	        [-data-dir DIR] [-checkpoint-every 4096] [-stream]
+//	        [-out BENCH_5.json]
 package main
 
 import (
@@ -44,6 +55,7 @@ import (
 	"time"
 
 	"iotlan"
+	"iotlan/internal/analysis"
 	"iotlan/internal/inspector"
 	"iotlan/internal/obs"
 	"iotlan/internal/pcap"
@@ -58,6 +70,8 @@ type benchRecord struct {
 	Concurrency   int     `json:"concurrency"`
 	Mode          string  `json:"mode"`
 	DupFrac       float64 `json:"dup_frac"`
+	Shards        int     `json:"shards,omitempty"`
+	Stream        bool    `json:"stream,omitempty"`
 	Uploads       int     `json:"uploads"`
 	Retries429    int     `json:"retries_429"`
 	Dropped       int     `json:"dropped"`
@@ -107,6 +121,10 @@ func main() {
 	addr := flag.String("addr", "", "target server (empty = self-host in process)")
 	workers := flag.Int("workers", 0, "self-hosted server workers (0 = one per CPU)")
 	queue := flag.Int("queue", 64, "self-hosted server queue capacity")
+	shards := flag.Int("shards", 0, "self-hosted server fleet shards (0 = server default)")
+	dataDir := flag.String("data-dir", "", "self-hosted server durable state dir (empty = in-memory)")
+	checkpointEvery := flag.Int("checkpoint-every", 4096, "self-hosted server checkpoint cadence in WAL records")
+	stream := flag.Bool("stream", false, "generate each household on demand instead of materializing the corpus (inspector mode only)")
 	out := flag.String("out", "BENCH_5.json", "output file (\"-\" for stdout)")
 	flag.Parse()
 	if *mode != "inspector" && *mode != "capture" && *mode != "mixed" {
@@ -117,12 +135,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "iotload: -dup-frac %v outside [0,1]\n", *dupFrac)
 		os.Exit(2)
 	}
-
-	ds := inspector.Generate(*seed, *households)
+	if *stream && *mode != "inspector" {
+		fmt.Fprintln(os.Stderr, "iotload: -stream requires -mode inspector")
+		os.Exit(2)
+	}
 
 	base := *addr
 	if base == "" {
-		srv := serve.New(serve.Config{Workers: *workers, QueueCapacity: *queue})
+		srv, err := serve.Open(serve.Config{
+			Workers: *workers, QueueCapacity: *queue, Shards: *shards,
+			DataDir: *dataDir, CheckpointEvery: *checkpointEvery,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iotload:", err)
+			os.Exit(1)
+		}
 		httpSrv := serve.NewHTTPServer("", srv.Mux())
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -139,53 +166,87 @@ func main() {
 	}
 	base = "http://" + base
 
-	// Build the upload set up front so the timed region is pure load.
-	var uploads []upload
-	for _, h := range ds.Households {
-		if *mode == "inspector" || *mode == "mixed" {
-			var buf bytes.Buffer
-			if err := inspector.EncodeWire(&buf, []*inspector.Household{h}); err != nil {
-				fatal(err)
-			}
-			uploads = append(uploads, upload{path: "/v1/ingest/inspector", body: buf.Bytes()})
-		}
-		if *mode == "capture" || *mode == "mixed" {
-			var buf bytes.Buffer
-			if err := pcap.WriteFile(&buf, inspector.SyntheticCapture(h)); err != nil {
-				fatal(err)
-			}
-			uploads = append(uploads, upload{
-				path: fmt.Sprintf("/v1/households/%s/capture", h.ID),
-				body: buf.Bytes(),
-			})
-		}
-	}
-	// Duplicates go after the originals, so by the time one is posted its
-	// original has (almost always) landed and the content-hash cache answers.
-	nDup := int(*dupFrac * float64(len(uploads)))
-	for i := 0; i < nDup; i++ {
-		uploads = append(uploads, uploads[i%len(uploads)])
-	}
-
 	client := &http.Client{Timeout: 2 * time.Minute}
-	work := make(chan upload)
-	results := make(chan outcome, len(uploads))
 	var wg sync.WaitGroup
+	var uploadCount int
+	var results chan outcome
+	gen := inspector.NewGenerator(*seed)
 	start := time.Now()
-	for i := 0; i < *concurrency; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for u := range work {
-				results <- post(client, base, u)
+	if *stream {
+		// Streamed load: uploaders draw households on demand — index i
+		// beyond the fleet re-uploads household i mod fleet (the duplicate
+		// tail), encoding at post time so memory stays flat at any scale.
+		nDup := int(*dupFrac * float64(*households))
+		uploadCount = *households + nDup
+		results = make(chan outcome, uploadCount)
+		work := make(chan int)
+		for i := 0; i < *concurrency; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range work {
+					h := gen.Household(idx % *households)
+					var buf bytes.Buffer
+					if err := inspector.EncodeWire(&buf, []*inspector.Household{h}); err != nil {
+						fatal(err)
+					}
+					results <- post(client, base, upload{path: "/v1/ingest/inspector", body: buf.Bytes()})
+				}
+			}()
+		}
+		for i := 0; i < uploadCount; i++ {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	} else {
+		// Build the upload set up front so the timed region is pure load.
+		ds := inspector.Generate(*seed, *households)
+		var uploads []upload
+		for _, h := range ds.Households {
+			if *mode == "inspector" || *mode == "mixed" {
+				var buf bytes.Buffer
+				if err := inspector.EncodeWire(&buf, []*inspector.Household{h}); err != nil {
+					fatal(err)
+				}
+				uploads = append(uploads, upload{path: "/v1/ingest/inspector", body: buf.Bytes()})
 			}
-		}()
+			if *mode == "capture" || *mode == "mixed" {
+				var buf bytes.Buffer
+				if err := pcap.WriteFile(&buf, inspector.SyntheticCapture(h)); err != nil {
+					fatal(err)
+				}
+				uploads = append(uploads, upload{
+					path: fmt.Sprintf("/v1/households/%s/capture", h.ID),
+					body: buf.Bytes(),
+				})
+			}
+		}
+		// Duplicates go after the originals, so by the time one is posted its
+		// original has (almost always) landed and the content-hash cache answers.
+		nDup := int(*dupFrac * float64(len(uploads)))
+		for i := 0; i < nDup; i++ {
+			uploads = append(uploads, uploads[i%len(uploads)])
+		}
+		uploadCount = len(uploads)
+		results = make(chan outcome, uploadCount)
+		work := make(chan upload)
+		start = time.Now()
+		for i := 0; i < *concurrency; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for u := range work {
+					results <- post(client, base, u)
+				}
+			}()
+		}
+		for _, u := range uploads {
+			work <- u
+		}
+		close(work)
+		wg.Wait()
 	}
-	for _, u := range uploads {
-		work <- u
-	}
-	close(work)
-	wg.Wait()
 	wall := time.Since(start)
 	close(results)
 
@@ -195,6 +256,8 @@ func main() {
 		Concurrency: *concurrency,
 		Mode:        *mode,
 		DupFrac:     *dupFrac,
+		Shards:      *shards,
+		Stream:      *stream,
 		WallMS:      float64(wall) / float64(time.Millisecond),
 	}
 	var lats []time.Duration
@@ -218,17 +281,15 @@ func main() {
 	rec.P99MS = percentileMS(lats, 0.99)
 
 	// Determinism gate: the loaded server's fleet Table 2 vs the offline
-	// Study over the identical dataset, iotbench-checksum style. Capture-only
-	// load ingests no inspector corpus, so the gate only applies when wire
-	// uploads happened.
+	// pipeline over the identical corpus, iotbench-checksum style.
+	// Capture-only load ingests no inspector corpus, so the gate only
+	// applies when wire uploads happened.
 	if *mode != "capture" {
 		served, err := fetchArtifact(client, base, "table2")
 		if err != nil {
 			fatal(err)
 		}
-		study := iotlan.New(0, iotlan.WithHouseholds(*households))
-		study.Inspector = ds
-		offline, err := study.RunArtifact("table2")
+		offline, err := offlineTable2(gen, *seed, *households, *stream)
 		if err != nil {
 			fatal(err)
 		}
@@ -260,6 +321,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench: served fleet artifact diverged from offline pipeline")
 		os.Exit(1)
 	}
+}
+
+// offlineTable2 computes the gate's reference Table 2. The materialized path
+// runs the full offline Study; the streamed path folds batched entropy
+// partials so it never holds the corpus — partition-invariant merging
+// (internal/analysis/partial.go) makes the two renderings byte-identical.
+func offlineTable2(gen *inspector.Generator, seed int64, households int, stream bool) (iotlan.Result, error) {
+	if !stream {
+		study := iotlan.New(0, iotlan.WithHouseholds(households))
+		study.Inspector = inspector.Generate(seed, households)
+		return study.RunArtifact("table2")
+	}
+	const batch = 4096
+	var parts []*analysis.EntropyPartial
+	for lo := 0; lo < households; lo += batch {
+		n := batch
+		if households-lo < n {
+			n = households - lo
+		}
+		hhs := make([]*inspector.Household, n)
+		for j := range hhs {
+			hhs[j] = gen.Household(lo + j)
+		}
+		parts = append(parts, analysis.EntropyPartialOf(hhs, nil))
+	}
+	return iotlan.EntropyResult(analysis.MergeEntropy(parts)), nil
 }
 
 // scrapeStageQuantiles fetches /metrics, strict-parses the exposition, and

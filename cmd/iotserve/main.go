@@ -20,11 +20,20 @@
 // the flight recorder (recent + slowest + errored request traces) as Chrome
 // trace JSON to a file and keeps serving — the in-flight incident snapshot.
 //
+// With -data-dir set the service is durable: every acknowledged inspector
+// ingest is written to a checksummed write-ahead log before fleet state
+// changes, periodic checkpoints snapshot the sharded fleet, and boot
+// replays checkpoint + WAL — acknowledged uploads survive SIGKILL. Fleet
+// state is sharded by household-ID hash (-shards); artifact bytes are
+// identical for any shard count.
+//
 // Usage:
 //
 //	iotserve [-addr :8080] [-workers N] [-queue 64] [-max-upload 67108864]
 //	         [-timeout 30s] [-retry-after 1s] [-cache 4096]
 //	         [-log-format text|json] [-trace=true] [-flight 256]
+//	         [-data-dir DIR] [-shards N] [-checkpoint-every 4096]
+//	         [-wal-sync group|always|none]
 //	iotserve -selftest    # serve an in-sim fleet over the virtual LAN
 //	                      # (internal/vnet), verify artifacts, exit — no
 //	                      # sockets, ports, or network privileges needed
@@ -44,6 +53,7 @@ import (
 	"time"
 
 	"iotlan/internal/serve"
+	"iotlan/internal/serve/store"
 )
 
 func main() {
@@ -59,6 +69,10 @@ func main() {
 	trace := flag.Bool("trace", true, "record per-upload spans into the flight recorder")
 	flight := flag.Int("flight", 0, "flight recorder capacity: recent traces retained (0 = default)")
 	selftest := flag.Bool("selftest", false, "serve an in-sim fleet over the virtual LAN (no sockets), verify artifacts, and exit")
+	dataDir := flag.String("data-dir", "", "durable state directory: WAL + checkpoints (empty = in-memory only)")
+	shards := flag.Int("shards", 8, "fleet state shards (artifact bytes are shard-count invariant)")
+	checkpointEvery := flag.Int("checkpoint-every", 4096, "checkpoint after this many WAL records (0 = only on shutdown)")
+	walSync := flag.String("wal-sync", "group", "WAL fsync policy: group (coalesced, default), always (per record), none (page cache only)")
 	flag.Parse()
 
 	if *selftest {
@@ -81,7 +95,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	s := serve.New(serve.Config{
+	syncMode, err := store.ParseSyncMode(*walSync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iotserve:", err)
+		os.Exit(2)
+	}
+	s, err := serve.Open(serve.Config{
 		Workers:            *workers,
 		QueueCapacity:      *queue,
 		MaxUploadBytes:     *maxUpload,
@@ -91,7 +110,15 @@ func main() {
 		DisableTracing:     !*trace,
 		FlightRecorderSize: *flight,
 		Logger:             logger,
+		DataDir:            *dataDir,
+		Shards:             *shards,
+		CheckpointEvery:    *checkpointEvery,
+		WALSync:            syncMode,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iotserve:", err)
+		os.Exit(1)
+	}
 	httpSrv := serve.NewHTTPServer(*addr, s.Mux())
 
 	ln, err := net.Listen("tcp", *addr)

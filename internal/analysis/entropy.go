@@ -152,117 +152,15 @@ func EntropyTable(ds *inspector.Dataset) []EntropyRow {
 }
 
 // EntropyTableWith computes Table 2 reusing a precomputed identifier
-// extraction (nil extracts inline).
+// extraction (nil extracts inline). It is defined as the single-partial
+// merge — the same aggregation path the sharded serving layer uses — so a
+// whole-corpus pass and a merged partition are byte-identical by
+// construction (see partial.go). Per-identifier-type entropy over all
+// households exposing that type lands in the combination rows as the sum of
+// their types' entropies (the paper's Ent column is additive: 12.3 ≈ 3.4 +
+// 8.9).
 func EntropyTableWith(ds *inspector.Dataset, ids *ExtractedIdentifiers) []EntropyRow {
-	type comboKey string
-	// Per combination: product/vendor/device sets and the per-household
-	// joined identifier value.
-	type agg struct {
-		products, vendors map[string]bool
-		devices           int
-		houseValues       map[string][]string // household → identifier values
-		types             []IdentifierType
-	}
-	aggs := map[comboKey]*agg{}
-	get := func(types []IdentifierType) *agg {
-		key := comboKey(fmt.Sprint(types))
-		a, ok := aggs[key]
-		if !ok {
-			a = &agg{
-				products: map[string]bool{}, vendors: map[string]bool{},
-				houseValues: map[string][]string{},
-				types:       append([]IdentifierType(nil), types...),
-			}
-			aggs[key] = a
-		}
-		return a
-	}
-
-	for _, h := range ds.Households {
-		for _, d := range h.Devices {
-			devIDs := ids.Of(d)
-			var types []IdentifierType
-			var values []string
-			for _, t := range []IdentifierType{IDName, IDUUID, IDMAC} {
-				if len(devIDs[t]) > 0 {
-					types = append(types, t)
-					values = append(values, devIDs[t]...)
-				}
-			}
-			a := get(types)
-			a.products[d.Product.Name()] = true
-			a.vendors[d.Product.Vendor] = true
-			a.devices++
-			if len(values) > 0 {
-				a.houseValues[h.ID] = append(a.houseValues[h.ID], values...)
-			} else {
-				a.houseValues[h.ID] = a.houseValues[h.ID] // presence only
-			}
-		}
-	}
-
-	// Per-identifier-type entropy over all households exposing that type;
-	// Table 2's combination rows carry the sum of their types' entropies
-	// (the paper's Ent column is additive: 12.3 ≈ 3.4 + 8.9).
-	typeValues := map[IdentifierType]map[string]int{
-		IDName: {}, IDUUID: {}, IDMAC: {},
-	}
-	typeHouseholds := map[IdentifierType]int{}
-	for _, h := range ds.Households {
-		perType := map[IdentifierType][]string{}
-		for _, d := range h.Devices {
-			for t, vals := range ids.Of(d) {
-				perType[t] = append(perType[t], vals...)
-			}
-		}
-		for t, vals := range perType {
-			sort.Strings(vals)
-			typeValues[t][strings.Join(vals, "|")]++
-			typeHouseholds[t]++
-		}
-	}
-	typeEntropy := map[IdentifierType]float64{}
-	for t, counts := range typeValues {
-		typeEntropy[t] = shannon(counts, typeHouseholds[t])
-	}
-
-	var rows []EntropyRow
-	for _, a := range aggs {
-		row := EntropyRow{
-			Types:    a.types,
-			Products: len(a.products), Vendors: len(a.vendors),
-			Devices: a.devices, Households: len(a.houseValues),
-		}
-		if len(a.types) > 0 {
-			// Household fingerprint = the sorted joined identifier set.
-			valueCount := map[string]int{}
-			for _, vals := range a.houseValues {
-				sort.Strings(vals)
-				valueCount[strings.Join(vals, "|")]++
-			}
-			unique := 0
-			for _, n := range valueCount {
-				if n == 1 {
-					unique++
-				}
-			}
-			row.UniqueHouseholds = unique
-			if row.Households > 0 {
-				row.UniquePct = 100 * float64(unique) / float64(row.Households)
-			}
-			for _, t := range a.types {
-				row.EntropyBits += typeEntropy[t]
-			}
-		}
-		rows = append(rows, row)
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if len(rows[i].Types) != len(rows[j].Types) {
-			return len(rows[i].Types) < len(rows[j].Types)
-		}
-		return rows[i].Key() < rows[j].Key()
-	})
-	return rows
+	return MergeEntropy([]*EntropyPartial{EntropyPartialOf(ds.Households, ids)})
 }
 
 // shannon computes H = Σ p·log2(1/p) over the fingerprint distribution.

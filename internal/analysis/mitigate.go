@@ -143,19 +143,11 @@ func MitigationTable(ds *inspector.Dataset) []ReidentificationResult {
 
 // MitigationTableWith sweeps the lattice reusing a precomputed identifier
 // extraction — one extraction pass instead of one per (regime, session).
+// Defined as the single-partial merge (partial.go), the same path the
+// sharded serving layer takes, so partitioned and whole-corpus sweeps are
+// byte-identical by construction.
 func MitigationTableWith(ds *inspector.Dataset, ids *ExtractedIdentifiers) []ReidentificationResult {
-	var out []ReidentificationResult
-	for _, m := range []Mitigation{
-		0,
-		MitigateStripNames,
-		MitigateRedactMACs,
-		MitigateRandomizeUUIDs,
-		MitigateRandomizeUUIDs | MitigateRedactMACs,
-		MitigateAll,
-	} {
-		out = append(out, EvaluateMitigationWith(ds, ids, m))
-	}
-	return out
+	return MergeMitigations([]*MitigationPartial{MitigationPartialOf(ds.Households, ids)})
 }
 
 // RenderMitigationTable prints the sweep.

@@ -1,0 +1,303 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iotlan/internal/inspector"
+)
+
+// This file holds the mergeable (partial) forms of the crowdsourced-corpus
+// analyses: Table 2's entropy/uniqueness aggregation and the §7 mitigation
+// sweep. Both analyses are, at bottom, counting — per-household fingerprint
+// histograms, identifier-combination populations, distinct product/vendor
+// sets — and counts merge. A partial computed over any subset of households
+// carries everything the final tables need from that subset; merging the
+// partials of a disjoint cover of the corpus yields aggregates identical to
+// a single whole-corpus pass, because integer sums and set unions are
+// associative and commutative, and every float (entropy) is derived only
+// *after* the merge, from identical integer counts, with sorted-key
+// summation. Hence: any partition — one shard, eight shards, one partial
+// per household — produces byte-identical rendered tables.
+//
+// The whole-corpus entry points (EntropyTableWith, MitigationTableWith) are
+// defined as a single-partial merge, so there is exactly one aggregation
+// code path and the equivalence is structural, not aspirational. The
+// serving layer leans on this: each fleet shard keeps its partial cached
+// and an upload invalidates only its own shard's contribution.
+
+// entropyCombo accumulates one identifier-combination row's inputs over a
+// household subset.
+type entropyCombo struct {
+	types             []IdentifierType
+	products, vendors map[string]bool
+	devices           int
+	households        int
+	// valueCounts maps a household's joined-sorted identifier fingerprint to
+	// the number of households in this subset carrying it. Populated only
+	// for combinations that expose at least one identifier type.
+	valueCounts map[string]int
+}
+
+// EntropyPartial is the mergeable Table 2 contribution of a household
+// subset. Build with EntropyPartialOf, combine with MergeEntropy.
+type EntropyPartial struct {
+	combos map[string]*entropyCombo
+	// typeValues counts per-household joined identifier values per class;
+	// typeHouseholds counts households exposing each class. Together they
+	// determine the per-class Shannon entropy after the merge.
+	typeValues     map[IdentifierType]map[string]int
+	typeHouseholds map[IdentifierType]int
+}
+
+func newEntropyPartial() *EntropyPartial {
+	return &EntropyPartial{
+		combos: map[string]*entropyCombo{},
+		typeValues: map[IdentifierType]map[string]int{
+			IDName: {}, IDUUID: {}, IDMAC: {},
+		},
+		typeHouseholds: map[IdentifierType]int{},
+	}
+}
+
+func (p *EntropyPartial) combo(types []IdentifierType) *entropyCombo {
+	key := fmt.Sprint(types)
+	c, ok := p.combos[key]
+	if !ok {
+		c = &entropyCombo{
+			types:    append([]IdentifierType(nil), types...),
+			products: map[string]bool{}, vendors: map[string]bool{},
+			valueCounts: map[string]int{},
+		}
+		p.combos[key] = c
+	}
+	return c
+}
+
+// EntropyPartialOf aggregates Table 2's inputs over a household subset,
+// reusing a precomputed identifier extraction (nil extracts inline).
+// Households must be whole — a household's devices may not be split across
+// subsets — which the serving layer guarantees by sharding on household ID.
+func EntropyPartialOf(hhs []*inspector.Household, ids *ExtractedIdentifiers) *EntropyPartial {
+	p := newEntropyPartial()
+	for _, h := range hhs {
+		// Per-household accumulation: identifier values per combination and
+		// per class, folded into counts once the household is complete.
+		comboValues := map[string][]string{}
+		comboPresent := map[string]bool{}
+		perType := map[IdentifierType][]string{}
+		for _, d := range h.Devices {
+			devIDs := ids.Of(d)
+			var types []IdentifierType
+			var values []string
+			for _, t := range []IdentifierType{IDName, IDUUID, IDMAC} {
+				if len(devIDs[t]) > 0 {
+					types = append(types, t)
+					values = append(values, devIDs[t]...)
+				}
+			}
+			c := p.combo(types)
+			c.products[d.Product.Name()] = true
+			c.vendors[d.Product.Vendor] = true
+			c.devices++
+			key := fmt.Sprint(types)
+			comboPresent[key] = true
+			comboValues[key] = append(comboValues[key], values...)
+			for t, vals := range devIDs {
+				perType[t] = append(perType[t], vals...)
+			}
+		}
+		for key := range comboPresent {
+			c := p.combos[key]
+			c.households++
+			if len(c.types) > 0 {
+				vals := comboValues[key]
+				sort.Strings(vals)
+				c.valueCounts[strings.Join(vals, "|")]++
+			}
+		}
+		for t, vals := range perType {
+			sort.Strings(vals)
+			p.typeValues[t][strings.Join(vals, "|")]++
+			p.typeHouseholds[t]++
+		}
+	}
+	return p
+}
+
+// MergeEntropy combines partials from a disjoint household cover into the
+// final Table 2 rows. Merging is pure count/set arithmetic; entropy and
+// uniqueness are derived from the merged counts only, so any partition of
+// the same corpus yields byte-identical rows.
+func MergeEntropy(parts []*EntropyPartial) []EntropyRow {
+	m := newEntropyPartial()
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for key, c := range p.combos {
+			mc, ok := m.combos[key]
+			if !ok {
+				mc = m.combo(c.types)
+			}
+			for k := range c.products {
+				mc.products[k] = true
+			}
+			for k := range c.vendors {
+				mc.vendors[k] = true
+			}
+			mc.devices += c.devices
+			mc.households += c.households
+			for v, n := range c.valueCounts {
+				mc.valueCounts[v] += n
+			}
+		}
+		for t, counts := range p.typeValues {
+			for v, n := range counts {
+				m.typeValues[t][v] += n
+			}
+		}
+		for t, n := range p.typeHouseholds {
+			m.typeHouseholds[t] += n
+		}
+	}
+
+	typeEntropy := map[IdentifierType]float64{}
+	for t, counts := range m.typeValues {
+		typeEntropy[t] = shannon(counts, m.typeHouseholds[t])
+	}
+
+	var rows []EntropyRow
+	for _, c := range m.combos {
+		row := EntropyRow{
+			Types:    c.types,
+			Products: len(c.products), Vendors: len(c.vendors),
+			Devices: c.devices, Households: c.households,
+		}
+		if len(c.types) > 0 {
+			unique := 0
+			for _, n := range c.valueCounts {
+				if n == 1 {
+					unique++
+				}
+			}
+			row.UniqueHouseholds = unique
+			if row.Households > 0 {
+				row.UniquePct = 100 * float64(unique) / float64(row.Households)
+			}
+			for _, t := range c.types {
+				row.EntropyBits += typeEntropy[t]
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if len(rows[i].Types) != len(rows[j].Types) {
+			return len(rows[i].Types) < len(rows[j].Types)
+		}
+		return rows[i].Key() < rows[j].Key()
+	})
+	return rows
+}
+
+// mitigationRegimes is the §7 sweep order — shared by the batch table, the
+// partial, and the merge so rows always line up.
+var mitigationRegimes = []Mitigation{
+	0,
+	MitigateStripNames,
+	MitigateRedactMACs,
+	MitigateRandomizeUUIDs,
+	MitigateRandomizeUUIDs | MitigateRedactMACs,
+	MitigateAll,
+}
+
+// session1Entry is one session-1 fingerprint's claim: the owning household
+// while the fingerprint is unique, and how many households produced it
+// (count > 1 means no re-identification is possible through it).
+type session1Entry struct {
+	owner string
+	count int
+}
+
+// regimePartial is one mitigation regime's contribution from a household
+// subset: session-1 fingerprint claims and session-2 fingerprint holders.
+type regimePartial struct {
+	s1 map[string]session1Entry
+	s2 map[string][]string
+}
+
+// MitigationPartial is the mergeable §7 sweep contribution of a household
+// subset, one regimePartial per mitigationRegimes entry.
+type MitigationPartial struct {
+	regimes []regimePartial
+}
+
+// MitigationPartialOf computes both observation sessions' fingerprints for
+// every regime over a household subset, reusing a precomputed identifier
+// extraction (nil extracts inline).
+func MitigationPartialOf(hhs []*inspector.Household, ids *ExtractedIdentifiers) *MitigationPartial {
+	p := &MitigationPartial{regimes: make([]regimePartial, len(mitigationRegimes))}
+	for ri, m := range mitigationRegimes {
+		rp := regimePartial{s1: map[string]session1Entry{}, s2: map[string][]string{}}
+		for _, h := range hhs {
+			if fp := fingerprint(h, ids, m, 1); fp != "" {
+				e := rp.s1[fp]
+				e.owner = h.ID
+				e.count++
+				rp.s1[fp] = e
+			}
+			if fp := fingerprint(h, ids, m, 2); fp != "" {
+				rp.s2[fp] = append(rp.s2[fp], h.ID)
+			}
+		}
+		p.regimes[ri] = rp
+	}
+	return p
+}
+
+// MergeMitigations combines partials from a disjoint household cover into
+// the final sweep rows, in mitigationRegimes order.
+func MergeMitigations(parts []*MitigationPartial) []ReidentificationResult {
+	out := make([]ReidentificationResult, len(mitigationRegimes))
+	for ri, m := range mitigationRegimes {
+		s1 := map[string]session1Entry{}
+		s2 := map[string][]string{}
+		for _, p := range parts {
+			if p == nil {
+				continue
+			}
+			rp := p.regimes[ri]
+			for fp, e := range rp.s1 {
+				me := s1[fp]
+				if me.count == 0 {
+					me.owner = e.owner
+				}
+				me.count += e.count
+				s1[fp] = me
+			}
+			for fp, owners := range rp.s2 {
+				s2[fp] = append(s2[fp], owners...)
+			}
+		}
+		res := ReidentificationResult{Mitigation: m}
+		counts := map[string]int{}
+		for fp, owners := range s2 {
+			res.Households += len(owners)
+			counts[fp] += len(owners)
+			if e, ok := s1[fp]; ok && e.count == 1 {
+				for _, owner := range owners {
+					if owner == e.owner {
+						res.Reidentified++
+					}
+				}
+			}
+		}
+		if res.Households > 0 {
+			res.ReidRate = float64(res.Reidentified) / float64(res.Households)
+		}
+		res.EntropyBits = shannon(counts, res.Households)
+		out[ri] = res
+	}
+	return out
+}

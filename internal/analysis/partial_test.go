@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"iotlan/internal/engine"
+	"iotlan/internal/inspector"
+)
+
+// partitionByHash splits households into n buckets by the same hash the
+// serving layer uses for its fleet shards.
+func partitionByHash(hhs []*inspector.Household, n int) [][]*inspector.Household {
+	out := make([][]*inspector.Household, n)
+	for _, h := range hhs {
+		s := engine.ShardOf(h.ID, n)
+		out[s] = append(out[s], h)
+	}
+	return out
+}
+
+// TestEntropyPartialMergeInvariant: merging Table 2 partials from any
+// partition of the corpus — hash shards of several widths, one partial per
+// household, or a lopsided split — reproduces the whole-corpus rows
+// exactly, including the floating-point entropy bits and the rendered
+// table.
+func TestEntropyPartialMergeInvariant(t *testing.T) {
+	ds := inspector.Generate(11, 160)
+	want := EntropyTableWith(ds, nil)
+	wantRendered := RenderEntropyTable(want)
+
+	partitions := map[string][][]*inspector.Household{
+		"hash2":        partitionByHash(ds.Households, 2),
+		"hash8":        partitionByHash(ds.Households, 8),
+		"hash64":       partitionByHash(ds.Households, 64),
+		"perHousehold": nil,
+		"lopsided":     {ds.Households[:1], ds.Households[1:]},
+	}
+	for _, h := range ds.Households {
+		partitions["perHousehold"] = append(partitions["perHousehold"], []*inspector.Household{h})
+	}
+
+	for name, parts := range partitions {
+		var ps []*EntropyPartial
+		for _, sub := range parts {
+			ps = append(ps, EntropyPartialOf(sub, nil))
+		}
+		got := MergeEntropy(ps)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: merged rows differ from batch:\n%v\nvs\n%v", name, got, want)
+		}
+		if r := RenderEntropyTable(got); r != wantRendered {
+			t.Fatalf("%s: rendered table differs:\n%s\nvs\n%s", name, r, wantRendered)
+		}
+	}
+
+	// Merging with nil partials (a shard that has no cached contribution
+	// yet) must be a no-op, and an empty-subset partial must contribute
+	// nothing.
+	got := MergeEntropy([]*EntropyPartial{
+		nil,
+		EntropyPartialOf(ds.Households, nil),
+		EntropyPartialOf(nil, nil),
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("nil/empty partials changed the merge")
+	}
+}
+
+// TestMitigationPartialMergeInvariant: the §7 sweep is partition-invariant
+// too — cross-shard re-identification works because session-1 fingerprint
+// claims merge by count (a fingerprint duplicated *across* shards must stop
+// re-identifying, exactly as a within-shard duplicate does).
+func TestMitigationPartialMergeInvariant(t *testing.T) {
+	ds := inspector.Generate(12, 140)
+	want := MitigationTableWith(ds, nil)
+	wantRendered := RenderMitigationTable(want)
+
+	for _, n := range []int{2, 8, 32} {
+		var ps []*MitigationPartial
+		for _, sub := range partitionByHash(ds.Households, n) {
+			ps = append(ps, MitigationPartialOf(sub, nil))
+		}
+		got := MergeMitigations(ps)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: merged sweep differs from batch:\n%v\nvs\n%v", n, got, want)
+		}
+		if r := RenderMitigationTable(got); r != wantRendered {
+			t.Fatalf("shards=%d: rendered sweep differs", n)
+		}
+	}
+
+	// The cross-shard duplicate case explicitly: two households engineered
+	// to share a fingerprint, placed in different partials. Unmitigated
+	// re-identification must treat the pair as ambiguous (no credit), which
+	// only happens if session-1 claim counts survive the merge.
+	a := ds.Households[0]
+	clone := &inspector.Household{ID: "cloneof0", Devices: a.Devices}
+	withClone := append(append([]*inspector.Household{}, ds.Households...), clone)
+	batch := MergeMitigations([]*MitigationPartial{MitigationPartialOf(withClone, nil)})
+	split := MergeMitigations([]*MitigationPartial{
+		MitigationPartialOf(withClone[:1], nil), // household 0 alone
+		MitigationPartialOf(withClone[1:], nil), // clone in the other shard
+	})
+	if !reflect.DeepEqual(batch, split) {
+		t.Fatalf("cross-shard duplicate handled differently:\n%v\nvs\n%v", batch, split)
+	}
+	if batch[0].Reidentified >= want[0].Reidentified+1 {
+		t.Fatalf("duplicated fingerprint still re-identified: %d (baseline %d)",
+			batch[0].Reidentified, want[0].Reidentified)
+	}
+}
+
+// TestPartialBatchedFold: folding partials batch-by-batch (the streaming
+// offline gate in cmd/iotload) equals one whole-corpus pass.
+func TestPartialBatchedFold(t *testing.T) {
+	const n, batch = 100, 17
+	ds := inspector.Generate(13, n)
+	var ps []*EntropyPartial
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		ps = append(ps, EntropyPartialOf(ds.Households[lo:hi], nil))
+	}
+	if got, want := fmt.Sprint(MergeEntropy(ps)), fmt.Sprint(EntropyTableWith(ds, nil)); got != want {
+		t.Fatalf("batched fold differs:\n%s\nvs\n%s", got, want)
+	}
+}

@@ -149,6 +149,28 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	return out
 }
 
+// ShardOf assigns a string key to one of shards buckets by FNV-1a 64-bit
+// hash. The assignment depends only on (key, shards) — never on process
+// state, insertion order, or map iteration — so two processes (or one
+// process across a restart) always agree on where a key lives. This is the
+// household→shard function the serving layer's partitioned fleet state and
+// its checkpoint files share.
+func ShardOf(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(shards))
+}
+
 // SubSeed derives a deterministic per-shard (or per-item) seed from a base
 // seed and a stream number, using the splitmix64 finaliser so that adjacent
 // streams land far apart in the rand state space.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -29,6 +30,51 @@ func TestShardsCoverExactly(t *testing.T) {
 		if len(shards) > tc.workers && tc.workers > 0 {
 			t.Fatalf("n=%d w=%d: %d shards", tc.n, tc.workers, len(shards))
 		}
+	}
+}
+
+func TestShardOf(t *testing.T) {
+	// Stable across calls, in range, and every bucket reachable at realistic
+	// key populations (household IDs are "user%05d").
+	for _, shards := range []int{1, 2, 3, 8, 64} {
+		seen := make([]int, shards)
+		for i := 0; i < 10000; i++ {
+			key := fmt.Sprintf("user%05d", i)
+			s := ShardOf(key, shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", key, shards, s)
+			}
+			if again := ShardOf(key, shards); again != s {
+				t.Fatalf("ShardOf(%q, %d) unstable: %d then %d", key, shards, s, again)
+			}
+			seen[s]++
+		}
+		for b, n := range seen {
+			if n == 0 {
+				t.Fatalf("shards=%d: bucket %d never hit", shards, b)
+			}
+		}
+	}
+	// Pinned values (FNV-1a 64): the checkpoint layout on disk depends on
+	// this function, so a change to the hash silently orphans existing
+	// per-shard snapshots. These anchors catch that.
+	for _, tc := range []struct {
+		key    string
+		shards int
+		want   int
+	}{
+		{"user00000", 8, 6},
+		{"user00001", 8, 1},
+		{"user03859", 8, 3},
+		{"user00000", 2, 0},
+		{"", 8, 5},
+	} {
+		if got := ShardOf(tc.key, tc.shards); got != tc.want {
+			t.Fatalf("ShardOf(%q, %d) = %d, want %d", tc.key, tc.shards, got, tc.want)
+		}
+	}
+	if got := ShardOf("anything", 1); got != 0 {
+		t.Fatalf("ShardOf with 1 shard = %d, want 0", got)
 	}
 }
 

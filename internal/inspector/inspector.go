@@ -135,24 +135,47 @@ func Generate(seed int64, households int) *Dataset {
 	return GenerateParallel(seed, households, 1)
 }
 
+// Generator draws single households on demand from a fixed seed. Because
+// every household has its own rng stream (engine.SubSeed(seed, index)),
+// Household(i) is independent of every other index: a caller can generate
+// any subset, in any order, from any number of goroutines, and each
+// household is byte-identical to ds.Households[i] of Generate(seed, n) for
+// any n > i. This is what lets a million-household load run stream uploads
+// without ever materializing the corpus.
+type Generator struct {
+	seed     int64
+	products []Product
+	totalPop int
+}
+
+// NewGenerator derives the shared product world (ground truth) from the
+// base seed and returns an on-demand household source.
+func NewGenerator(seed int64) *Generator {
+	products := catalog(rand.New(rand.NewSource(seed)))
+	totalPop := 0
+	for _, p := range products {
+		totalPop += p.Popularity
+	}
+	return &Generator{seed: seed, products: products, totalPop: totalPop}
+}
+
+// Household generates household index i. Safe for concurrent use.
+func (g *Generator) Household(i int) *Household {
+	rng := rand.New(rand.NewSource(engine.SubSeed(g.seed, uint64(i))))
+	return generateHousehold(rng, i, g.products, g.totalPop)
+}
+
 // GenerateParallel shards corpus generation across workers (values < 1 mean
 // one per CPU). Every household draws from its own rng seeded by
 // engine.SubSeed(seed, household), so generation is order-independent: any
 // worker count — including the sequential path — produces a byte-identical
 // dataset for a fixed seed.
 func GenerateParallel(seed int64, households, workers int) *Dataset {
-	// The product world is shared ground truth, derived from the base seed
-	// before any household is drawn.
-	products := catalog(rand.New(rand.NewSource(seed)))
-	totalPop := 0
-	for _, p := range products {
-		totalPop += p.Popularity
-	}
+	g := NewGenerator(seed)
 	ds := &Dataset{Households: make([]*Household, households)}
 	engine.ForEachShard(households, workers, func(_ int, r engine.Range) {
 		for h := r.Start; h < r.End; h++ {
-			rng := rand.New(rand.NewSource(engine.SubSeed(seed, uint64(h))))
-			ds.Households[h] = generateHousehold(rng, h, products, totalPop)
+			ds.Households[h] = g.Household(h)
 		}
 	})
 	return ds

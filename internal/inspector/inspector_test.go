@@ -184,3 +184,26 @@ func TestTrafficWindows(t *testing.T) {
 		}
 	}
 }
+
+// TestGeneratorMatchesGenerate: on-demand single-household generation is
+// byte-identical (on the wire) to the same index of a batch Generate, in any
+// order, for any corpus size — the property the streaming load generator and
+// the sharded serving tests both lean on.
+func TestGeneratorMatchesGenerate(t *testing.T) {
+	const seed = 3
+	ds := Generate(seed, 40)
+	g := NewGenerator(seed)
+	for _, i := range []int{39, 0, 17, 17, 5} { // out of order, repeated
+		want, err := json.Marshal(ds.Households[i].Wire())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(g.Household(i).Wire())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("household %d differs:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+}

@@ -14,6 +14,13 @@
 // recomputed from the registry's artifacts on demand and are byte-identical
 // to the offline Study pipeline for the same household set — concurrency
 // never changes output bytes.
+//
+// Fleet state is sharded by household-ID hash (shard.go): each shard locks
+// independently and caches its own partial aggregates, merged at read time,
+// so an upload invalidates one shard's partial instead of the whole fleet's
+// work. With Config.DataDir set the service is durable (durable.go): ingests
+// are written ahead to a checksummed log before acknowledgement, shards are
+// checkpointed periodically, and Open replays checkpoint + WAL on boot.
 package serve
 
 import (
@@ -37,6 +44,7 @@ import (
 	"iotlan/internal/inspector"
 	"iotlan/internal/obs"
 	"iotlan/internal/pcap"
+	"iotlan/internal/serve/store"
 )
 
 // Config sizes the service. The zero value is usable: withDefaults fills
@@ -72,6 +80,24 @@ type Config struct {
 	// route, bytes, stage timings, status, cache verdict, queue depth at
 	// admit. Nil means no request logging.
 	Logger *slog.Logger
+	// Shards splits fleet state by household-ID hash into independently
+	// locked shards with independently cached partial aggregates (< 1 = 1).
+	// Artifact bytes are identical for any shard count.
+	Shards int
+	// DataDir, when set, makes inspector ingestion durable: a write-ahead
+	// log plus periodic checkpoints live there, replayed on boot. Build
+	// durable servers with Open (New panics on a recovery error).
+	DataDir string
+	// CheckpointEvery checkpoints after that many WAL records; 0 means only
+	// the final checkpoint on Close. Ignored without DataDir.
+	CheckpointEvery int
+	// WALSync selects WAL durability (default store.SyncGroup: fsync before
+	// acknowledging, coalescing concurrent uploads into one fsync).
+	WALSync store.SyncMode
+	// RetainWAL keeps pre-checkpoint WAL segments instead of compacting
+	// them — the recovery tests compare boot-from-checkpoint against
+	// boot-from-full-WAL with it.
+	RetainWAL bool
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +121,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 4096
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
 	}
 	return c
 }
@@ -140,6 +169,7 @@ type uploadStats struct {
 	Decode      time.Duration
 	Analysis    time.Duration
 	CacheLookup time.Duration
+	WALAppend   time.Duration
 }
 
 // jobResult is what the waiting handler writes back to the client.
@@ -203,11 +233,26 @@ type Server struct {
 	// their final drain sweep — an accepted upload is always processed.
 	drainMu sync.RWMutex
 
-	mu           sync.Mutex
-	households   map[string]*householdState
-	cache        map[[sha256.Size]byte][]byte
-	fleetVersion uint64
-	fleetMemo    map[string]fleetEntry
+	// shards hold the fleet state (shard.go); fleetVersion is the global
+	// ingest counter behind the merged-artifact memo.
+	shards       []*fleetShard
+	fleetVersion atomic.Uint64
+
+	// mu guards the content-hash result cache and the merged-artifact memo.
+	mu        sync.Mutex
+	cache     map[[sha256.Size]byte][]byte
+	fleetMemo map[string]fleetEntry
+
+	// Durability (durable.go). wal is nil without Config.DataDir. ckptGate
+	// orders ingest (read lock across WAL append + state apply) against
+	// checkpointing (write lock across rotate + snapshot capture) so a
+	// compacted segment's records are always inside the checkpoint. ckptMu
+	// serializes checkpoint runs; walSince counts records since the last.
+	wal       *store.Log
+	ckptGate  sync.RWMutex
+	ckptMu    sync.Mutex
+	walSince  atomic.Int64
+	closeOnce sync.Once
 
 	// spans/flight are the request-tracing surface; both nil when
 	// Config.DisableTracing is set (every call through them no-ops).
@@ -231,7 +276,7 @@ type Server struct {
 // the p99 go".
 var uploadStages = []string{
 	"queue.wait", "body.read", "pcap.decode", "inspector.decode",
-	"analysis", "cache.lookup", "artifact.build",
+	"analysis", "cache.lookup", "artifact.build", "wal.append",
 }
 
 // stageBounds are millisecond bucket bounds for the stage histograms; the
@@ -244,18 +289,30 @@ type fleetEntry struct {
 	body    []byte
 }
 
-// New builds the server and starts its worker pool.
+// New builds an in-memory server and starts its worker pool. For durable
+// configurations (DataDir set) prefer Open, which surfaces recovery errors;
+// New panics on them.
 func New(cfg Config) *Server {
-	cfg = cfg.withDefaults()
-	s := &Server{
-		cfg:        cfg,
-		reg:        obs.NewRegistry(),
-		queue:      make(chan *job, cfg.QueueCapacity),
-		quit:       make(chan struct{}),
-		households: make(map[string]*householdState),
-		cache:      make(map[[sha256.Size]byte][]byte),
-		fleetMemo:  make(map[string]fleetEntry),
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return s
+}
+
+// newServer builds the server without starting workers — Open recovers
+// durable state in between, so no upload races the replay.
+func newServer(cfg Config) *Server {
+	s := &Server{
+		cfg:       cfg,
+		reg:       obs.NewRegistry(),
+		queue:     make(chan *job, cfg.QueueCapacity),
+		quit:      make(chan struct{}),
+		shards:    newShards(cfg.Shards),
+		cache:     make(map[[sha256.Size]byte][]byte),
+		fleetMemo: make(map[string]fleetEntry),
+	}
+	s.reg.Gauge("serve_shards").Set(int64(cfg.Shards))
 	s.mQueueDepth = s.reg.Gauge("serve_queue_depth")
 	s.mWorkersBusy = s.reg.Gauge("serve_workers_busy")
 	s.mInflight = s.reg.Gauge("serve_inflight_bytes")
@@ -271,7 +328,11 @@ func New(cfg Config) *Server {
 		s.spans.SetSink(s.flight)
 	}
 	s.logger = cfg.Logger
-	workers := cfg.Workers
+	return s
+}
+
+func (s *Server) startWorkers() {
+	workers := s.cfg.Workers
 	if workers < 1 {
 		workers = defaultWorkers()
 	}
@@ -279,7 +340,6 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
 }
 
 // Registry exposes the service's operational metrics (served at /metrics).
@@ -307,7 +367,11 @@ func (s *Server) Drain() { s.draining.Store(true) }
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Close drains (if not already draining), lets the workers finish every
-// queued job, and stops the pool. After Close no job is processed.
+// queued job, and stops the pool. After Close no job is processed. With
+// durability on, the flush happens after the last worker exits: a final
+// checkpoint is written and the WAL is synced shut, so every acknowledged
+// upload is on disk before Close returns — the graceful-drain contract
+// cmd/iotserve relies on for SIGTERM.
 func (s *Server) Close() {
 	s.drainMu.Lock()
 	s.draining.Store(true)
@@ -318,6 +382,7 @@ func (s *Server) Close() {
 		close(s.quit)
 	}
 	s.wg.Wait()
+	s.closeOnce.Do(s.closeDurable)
 }
 
 // worker pops jobs until quit, then finishes whatever is still queued — the
@@ -509,12 +574,38 @@ func (s *Server) processInspector(j *job) jobResult {
 	body, hit := s.timedCacheGet(j, digest)
 	if hit {
 		// Ingest is idempotent per household ID, so a duplicate batch needs
-		// no re-ingest either: the fleet already contains these households.
+		// no re-ingest either: the fleet already contains these households
+		// (and the miss that populated the cache already logged them).
 		return jobResult{status: http.StatusOK, body: body, cacheHit: true}
 	}
 	aStart := time.Now()
 	_, aspan := s.spans.StartSpan(j.ctx, "serve", "analysis")
-	body = s.ingest(hhs)
+	if s.wal != nil {
+		// Write-ahead, then apply: the ack is backed by the log. The gate's
+		// read lock keeps the append+apply pair atomic with respect to
+		// checkpoint compaction (see checkpoint).
+		wStart, wspan := time.Now(), s.spans.Now()
+		s.ckptGate.RLock()
+		err := s.walAppend(hhs)
+		if err == nil {
+			body = s.ingest(hhs)
+		}
+		s.ckptGate.RUnlock()
+		j.stats.WALAppend = time.Since(wStart) // bracket includes the apply; dominated by fsync
+		s.stageObserve("wal.append", j.stats.WALAppend)
+		s.spans.RecordSpan(j.ctx, "serve", "wal.append", wspan, j.stats.WALAppend.Microseconds(),
+			"households", strconv.Itoa(len(hhs)))
+		if err != nil {
+			aspan.Fail()
+			aspan.End()
+			s.reg.Counter("serve_upload_rejected", "reason", "wal").Inc()
+			return jobResult{status: http.StatusInternalServerError,
+				body: s.errEnvelope(fmt.Sprintf("durable ingest failed: %v", err), s.cfg.RetryAfter)}
+		}
+		s.maybeCheckpoint()
+	} else {
+		body = s.ingest(hhs)
+	}
 	aspan.End()
 	j.stats.Analysis = time.Since(aStart)
 	s.stageObserve("analysis", j.stats.Analysis)
@@ -587,8 +678,9 @@ func (s *Server) analyzeCapture(household string, records []pcap.Record) []byte 
 		ExposedAt:   exposed,
 	}
 
-	s.mu.Lock()
-	st := s.household(household)
+	sh := s.shardFor(household)
+	sh.mu.Lock()
+	st := sh.household(household)
 	st.captures++
 	st.frames += rep.Frames
 	st.localFrames += rep.LocalFrames
@@ -601,23 +693,25 @@ func (s *Server) analyzeCapture(household string, records []pcap.Record) []byte 
 	if exposed > st.exposed {
 		st.exposed = exposed
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 
 	return mustJSON(rep)
 }
 
-// ingest replaces the uploaded households' crowdsourced records and
-// invalidates the fleet memo.
+// ingest replaces the uploaded households' crowdsourced records — bumping
+// only the touched shards' versions, so every other shard's cached partial
+// stays warm — and invalidates the merged-artifact memo via fleetVersion.
 func (s *Server) ingest(hhs []*inspector.Household) []byte {
 	devices := 0
-	s.mu.Lock()
 	for _, hh := range hhs {
-		st := s.household(hh.ID)
-		st.inspector = hh
+		sh := s.shardFor(hh.ID)
+		sh.mu.Lock()
+		sh.household(hh.ID).inspector = hh
+		sh.version++
+		sh.mu.Unlock()
 		devices += len(hh.Devices)
 	}
-	s.fleetVersion++
-	s.mu.Unlock()
+	s.fleetVersion.Add(1)
 	ids := make([]string, len(hhs))
 	for i, hh := range hhs {
 		ids[i] = hh.ID
@@ -627,16 +721,6 @@ func (s *Server) ingest(hhs []*inspector.Household) []byte {
 		Households []string `json:"households"`
 		Devices    int      `json:"devices"`
 	}{ids, devices})
-}
-
-// household returns (creating if needed) a household's state. Caller holds mu.
-func (s *Server) household(id string) *householdState {
-	st, ok := s.households[id]
-	if !ok {
-		st = &householdState{protocols: make(map[string]int), sources: make(map[string]bool)}
-		s.households[id] = st
-	}
-	return st
 }
 
 // cacheGet looks a digest up in the bounded result cache.
@@ -666,24 +750,21 @@ func (s *Server) cachePut(digest [sha256.Size]byte, body []byte) {
 }
 
 // fleetSnapshot assembles the current fleet as an inspector dataset, with
-// households in sorted-ID order — ingestion order (and therefore upload
-// concurrency) never reaches the analysis. The households themselves are
+// households in sorted-ID order — ingestion order, shard layout, and upload
+// concurrency never reach the analysis. The households themselves are
 // shared immutably with the ingest path (replaced whole, never mutated).
+// The version is read first, so a racing ingest can only mislabel fresher
+// data as older (forcing a recompute later), never the reverse.
 func (s *Server) fleetSnapshot() (uint64, *inspector.Dataset) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ids := make([]string, 0, len(s.households))
-	for id, st := range s.households {
-		if st.inspector != nil {
-			ids = append(ids, id)
-		}
+	version := s.fleetVersion.Load()
+	var hhs []*inspector.Household
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		hhs = append(hhs, sh.inspectorSnapshot()...)
+		sh.mu.Unlock()
 	}
-	sort.Strings(ids)
-	ds := &inspector.Dataset{Households: make([]*inspector.Household, len(ids))}
-	for i, id := range ids {
-		ds.Households[i] = s.households[id].inspector
-	}
-	return s.fleetVersion, ds
+	sort.Slice(hhs, func(i, j int) bool { return hhs[i].ID < hhs[j].ID })
+	return version, &inspector.Dataset{Households: hhs}
 }
 
 // artifactReport is the JSON rendering of one registry artifact computed
@@ -714,6 +795,9 @@ func (s *Server) RunFleetArtifact(ctx context.Context, name string) ([]byte, err
 	}
 	if a.Needs&^iotlan.NeedInspector != 0 {
 		return nil, fmt.Errorf("%w: artifact %q needs pipelines %s", ErrOfflineArtifact, a.Name, a.Needs)
+	}
+	if compute, ok := shardedArtifacts[a.Name]; ok {
+		return s.runShardedArtifact(ctx, a, compute)
 	}
 	version, ds := s.fleetSnapshot()
 	s.mu.Lock()
@@ -782,10 +866,11 @@ type inspectorSummary struct {
 // report renders a household's accumulated state, or ok=false if the
 // household has never uploaded.
 func (s *Server) report(id string) ([]byte, bool) {
-	s.mu.Lock()
-	st, ok := s.households[id]
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	st, ok := sh.households[id]
 	if !ok {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, false
 	}
 	rep := householdReport{
@@ -801,7 +886,7 @@ func (s *Server) report(id string) ([]byte, bool) {
 		rep.Protocols[k] = v
 	}
 	hh := st.inspector
-	s.mu.Unlock()
+	sh.mu.Unlock()
 
 	if hh != nil {
 		ds := &inspector.Dataset{Households: []*inspector.Household{hh}}
@@ -831,15 +916,18 @@ type fleetSummary struct {
 
 // fleet summarizes everything ingested so far.
 func (s *Server) fleet() []byte {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sum := fleetSummary{Households: len(s.households), Version: s.fleetVersion}
-	for _, st := range s.households {
-		sum.Frames += st.frames
-		if st.inspector != nil {
-			sum.InspectorHouseholds++
-			sum.Devices += len(st.inspector.Devices)
+	sum := fleetSummary{Version: s.fleetVersion.Load()}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sum.Households += len(sh.households)
+		for _, st := range sh.households {
+			sum.Frames += st.frames
+			if st.inspector != nil {
+				sum.InspectorHouseholds++
+				sum.Devices += len(st.inspector.Devices)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return mustJSON(sum)
 }
@@ -884,6 +972,7 @@ func (s *Server) logUpload(kind, household string, status int, st uploadStats, c
 		"decode_ms", ms(st.Decode),
 		"analysis_ms", ms(st.Analysis),
 		"cache_lookup_ms", ms(st.CacheLookup),
+		"wal_ms", ms(st.WALAppend),
 		"cache", cache,
 		"queue_depth_admit", admitDepth,
 	)

@@ -430,14 +430,15 @@ func TestGracefulDrain(t *testing.T) {
 // TestConcurrentIngestDeterministic: the acceptance gate — a fleet ingested
 // concurrently with 1 worker and with 4 workers yields byte-identical
 // Table 2 artifacts, both equal to the offline Study pipeline over the same
-// dataset, with request tracing on or off. Worker count, upload
-// interleaving, and telemetry never reach the output.
+// dataset, with request tracing on or off and for any shard count. Worker
+// count, shard layout, upload interleaving, and telemetry never reach the
+// output.
 func TestConcurrentIngestDeterministic(t *testing.T) {
 	const seed, households = 42, 24
 	ds := inspector.Generate(seed, households)
 
-	run := func(workers int, disableTracing bool) []byte {
-		s := newTestServer(t, Config{Workers: workers, QueueCapacity: households, DisableTracing: disableTracing})
+	run := func(workers, shards int, disableTracing bool) []byte {
+		s := newTestServer(t, Config{Workers: workers, Shards: shards, QueueCapacity: households, DisableTracing: disableTracing})
 		var wg sync.WaitGroup
 		for _, h := range ds.Households {
 			wg.Add(1)
@@ -465,14 +466,19 @@ func TestConcurrentIngestDeterministic(t *testing.T) {
 		return w.Body.Bytes()
 	}
 
-	one, four := run(1, false), run(4, false)
+	one, four := run(1, 1, false), run(4, 1, false)
 	if !bytes.Equal(one, four) {
 		t.Fatalf("table2 differs between workers=1 and workers=4:\n%s\nvs\n%s", one, four)
 	}
 	// Telemetry is observational only: spans + flight recorder off must
 	// produce the same bytes as on.
-	if untraced := run(4, true); !bytes.Equal(one, untraced) {
+	if untraced := run(4, 1, true); !bytes.Equal(one, untraced) {
 		t.Fatalf("table2 differs between tracing on and off:\n%s\nvs\n%s", one, untraced)
+	}
+	// Sharding is observational too: the partial-merge path over 8 shards
+	// must produce the same bytes as the single-shard full pass.
+	if sharded := run(4, 8, false); !bytes.Equal(one, sharded) {
+		t.Fatalf("table2 differs between shards=1 and shards=8:\n%s\nvs\n%s", one, sharded)
 	}
 
 	// And both must match the offline pipeline byte for byte.

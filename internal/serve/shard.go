@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"iotlan"
+	"iotlan/internal/analysis"
+	"iotlan/internal/engine"
+	"iotlan/internal/inspector"
+)
+
+// fleetShard is one hash slice of the fleet: households whose IDs map to it
+// under engine.ShardOf, an independent lock, a version counter bumped on
+// every inspector mutation, and per-artifact cached partial aggregates.
+// Sharding is purely an availability/latency structure — artifact bytes are
+// identical for any shard count, because the partial aggregates merge
+// partition-invariantly (internal/analysis/partial.go) and every read-side
+// assembly sorts by household ID.
+type fleetShard struct {
+	mu         sync.Mutex
+	households map[string]*householdState
+	version    uint64
+	partials   map[string]shardPartialEntry
+}
+
+// shardPartialEntry caches one artifact's partial aggregate for the shard
+// state at version; any mutation of the shard invalidates it — and only it:
+// an upload leaves every other shard's cached partial warm.
+type shardPartialEntry struct {
+	version    uint64
+	households int
+	val        any
+}
+
+func newShards(n int) []*fleetShard {
+	shards := make([]*fleetShard, n)
+	for i := range shards {
+		shards[i] = &fleetShard{
+			households: make(map[string]*householdState),
+			partials:   make(map[string]shardPartialEntry),
+		}
+	}
+	return shards
+}
+
+// shardFor maps a household ID to its shard. The hash is process-independent
+// (FNV-1a), so checkpoints, restarts, and any two servers with the same
+// shard count agree on placement.
+func (s *Server) shardFor(id string) *fleetShard {
+	return s.shards[engine.ShardOf(id, len(s.shards))]
+}
+
+// household returns (creating if needed) a household's state. Caller holds
+// sh.mu.
+func (sh *fleetShard) household(id string) *householdState {
+	st, ok := sh.households[id]
+	if !ok {
+		st = &householdState{protocols: make(map[string]int), sources: make(map[string]bool)}
+		sh.households[id] = st
+	}
+	return st
+}
+
+// inspectorSnapshot returns the shard's crowdsourced households in sorted-ID
+// order. Caller holds sh.mu; the households themselves are shared immutably
+// (ingest replaces them whole, never mutates).
+func (sh *fleetShard) inspectorSnapshot() []*inspector.Household {
+	ids := make([]string, 0, len(sh.households))
+	for id, st := range sh.households {
+		if st.inspector != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	out := make([]*inspector.Household, len(ids))
+	for i, id := range ids {
+		out[i] = sh.households[id].inspector
+	}
+	return out
+}
+
+// partialFor returns the shard's partial aggregate for one artifact,
+// recomputing only when the shard's state moved since the cached value —
+// the per-shard half of the read-time merge. compute runs without the shard
+// lock (the snapshot is immutable).
+func (s *Server) partialFor(sh *fleetShard, name string, compute func([]*inspector.Household) any) (any, int) {
+	sh.mu.Lock()
+	v := sh.version
+	if e, ok := sh.partials[name]; ok && e.version == v {
+		sh.mu.Unlock()
+		s.reg.Counter("serve_shard_partials", "result", "hit").Inc()
+		return e.val, e.households
+	}
+	hhs := sh.inspectorSnapshot()
+	sh.mu.Unlock()
+	s.reg.Counter("serve_shard_partials", "result", "miss").Inc()
+	val := compute(hhs)
+	sh.mu.Lock()
+	if e, ok := sh.partials[name]; !ok || e.version <= v {
+		sh.partials[name] = shardPartialEntry{version: v, households: len(hhs), val: val}
+	}
+	sh.mu.Unlock()
+	return val, len(hhs)
+}
+
+// shardedArtifacts maps the artifacts served via per-shard partial merge to
+// their partial constructors. Everything else takes the full-snapshot Study
+// path in RunFleetArtifact.
+var shardedArtifacts = map[string]func([]*inspector.Household) any{
+	"table2":      func(hhs []*inspector.Household) any { return analysis.EntropyPartialOf(hhs, nil) },
+	"mitigations": func(hhs []*inspector.Household) any { return analysis.MitigationPartialOf(hhs, nil) },
+}
+
+// runShardedArtifact serves table2/mitigations by merging per-shard partial
+// aggregates at read time: stale shards recompute their partial (fanned out
+// across the worker budget, merged by shard index — never completion
+// order), warm shards answer from cache, and the merged rows render through
+// the same iotlan result constructors the offline Study uses. Output bytes
+// are identical to the full-snapshot path for any shard count.
+func (s *Server) runShardedArtifact(ctx context.Context, a iotlan.Artifact, compute func([]*inspector.Household) any) ([]byte, error) {
+	// Version is read before the shard sweep: a concurrent ingest can at
+	// worst label a fresher body with an older version (forcing a spurious
+	// recompute later), never serve stale bytes under a newer version.
+	version := s.fleetVersion.Load()
+	s.mu.Lock()
+	memo, ok := s.fleetMemo[a.Name]
+	s.mu.Unlock()
+	if ok && memo.version == version {
+		s.reg.Counter("serve_fleet_cache", "result", "hit").Inc()
+		return memo.body, nil
+	}
+	s.reg.Counter("serve_fleet_cache", "result", "miss").Inc()
+
+	bStart := time.Now()
+	_, bspan := s.spans.StartSpan(ctx, "serve", "artifact.build", "artifact", a.Name)
+	type contribution struct {
+		val any
+		n   int
+	}
+	contribs := engine.Map(s.cfg.Workers, len(s.shards), func(i int) contribution {
+		val, n := s.partialFor(s.shards[i], a.Name, compute)
+		return contribution{val, n}
+	})
+	households := 0
+	for _, c := range contribs {
+		households += c.n
+	}
+	var res iotlan.Result
+	switch a.Name {
+	case "table2":
+		ps := make([]*analysis.EntropyPartial, len(contribs))
+		for i, c := range contribs {
+			ps[i] = c.val.(*analysis.EntropyPartial)
+		}
+		res = iotlan.EntropyResult(analysis.MergeEntropy(ps))
+	case "mitigations":
+		ps := make([]*analysis.MitigationPartial, len(contribs))
+		for i, c := range contribs {
+			ps[i] = c.val.(*analysis.MitigationPartial)
+		}
+		res = iotlan.MitigationResult(analysis.MergeMitigations(ps))
+	}
+	bspan.End()
+	s.stageObserve("artifact.build", time.Since(bStart))
+
+	body := mustJSON(artifactReport{
+		Name:       a.Name,
+		PaperRef:   a.PaperRef,
+		Kind:       a.Kind,
+		Households: households,
+		ID:         res.ID,
+		Rendered:   res.Rendered,
+		Metrics:    res.Metrics,
+	})
+	s.mu.Lock()
+	s.fleetMemo[a.Name] = fleetEntry{version: version, body: body}
+	s.mu.Unlock()
+	return body, nil
+}

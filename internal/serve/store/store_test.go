@@ -1,0 +1,358 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// appendAll writes payloads into a fresh log in dir and closes it,
+// returning the on-disk bytes of the (single) segment.
+func appendAll(t *testing.T, dir string, mode SyncMode, payloads [][]byte) []byte {
+	t.Helper()
+	l, err := OpenLog(dir, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg := l.Segment()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, SegmentName(seg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func testPayloads() [][]byte {
+	return [][]byte{
+		[]byte(`{"id":"user00000"}`),
+		[]byte(""), // empty record is legal
+		[]byte(`{"id":"user00001","devices":[{"oui":"aa:bb:cc"}]}`),
+		bytes.Repeat([]byte("x"), 300),
+		[]byte(`tail`),
+	}
+}
+
+// TestTruncationEveryByte is the satellite-3 core property: truncating a
+// recorded WAL at EVERY byte offset replays without panic and recovers
+// exactly the prefix of intact records.
+func TestTruncationEveryByte(t *testing.T) {
+	payloads := testPayloads()
+	raw := appendAll(t, t.TempDir(), SyncNone, payloads)
+
+	// Record boundaries: offsets[i] = bytes covering the first i records.
+	offsets := []int{0}
+	for _, p := range payloads {
+		offsets = append(offsets, offsets[len(offsets)-1]+recordHeaderBytes+len(p))
+	}
+	if offsets[len(offsets)-1] != len(raw) {
+		t.Fatalf("segment is %d bytes, framing says %d", len(raw), offsets[len(offsets)-1])
+	}
+
+	for cut := 0; cut <= len(raw); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, SegmentName(1)), raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got [][]byte
+		st, err := ReplayLog(dir, 0, func(p []byte) error {
+			got = append(got, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut=%d: replay error: %v", cut, err)
+		}
+		// How many whole records fit in the first `cut` bytes?
+		intact := 0
+		for intact+1 < len(offsets) && offsets[intact+1] <= cut {
+			intact++
+		}
+		if st.Records != intact || len(got) != intact {
+			t.Fatalf("cut=%d: recovered %d records, want %d", cut, st.Records, intact)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], payloads[i]) {
+				t.Fatalf("cut=%d: record %d mismatch", cut, i)
+			}
+		}
+		atBoundary := offsets[intact] == cut
+		if st.Truncated == atBoundary {
+			t.Fatalf("cut=%d: Truncated=%v, at-boundary=%v", cut, st.Truncated, atBoundary)
+		}
+	}
+}
+
+// TestCorruptChecksumStopsReplay: a bit-flipped payload stops replay at the
+// damaged record; the intact prefix is kept; the error is ErrRecordCorrupt.
+func TestCorruptChecksumStopsReplay(t *testing.T) {
+	payloads := testPayloads()
+	raw := appendAll(t, t.TempDir(), SyncNone, payloads)
+
+	// Flip one byte inside the 3rd record's payload.
+	off := 0
+	for i := 0; i < 2; i++ {
+		off += recordHeaderBytes + len(payloads[i])
+	}
+	raw[off+recordHeaderBytes] ^= 0xff
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, SegmentName(1)), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReplayLog(dir, 0, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 2 || !st.Truncated || !errors.Is(st.Err, ErrRecordCorrupt) {
+		t.Fatalf("got records=%d truncated=%v err=%v; want 2/true/ErrRecordCorrupt",
+			st.Records, st.Truncated, st.Err)
+	}
+	if st.TruncatedSegment != 1 {
+		t.Fatalf("TruncatedSegment=%d, want 1", st.TruncatedSegment)
+	}
+}
+
+// TestAbsurdLengthStopsReplay: a corrupted length field larger than
+// MaxRecordBytes must stop replay as corruption, not attempt the allocation.
+func TestAbsurdLengthStopsReplay(t *testing.T) {
+	frame := EncodeRecord(nil, []byte("ok"))
+	bad := append(append([]byte(nil), frame...), 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, SegmentName(1)), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReplayLog(dir, 0, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 1 || !st.Truncated || !errors.Is(st.Err, ErrRecordCorrupt) {
+		t.Fatalf("got records=%d truncated=%v err=%v", st.Records, st.Truncated, st.Err)
+	}
+}
+
+// TestRotateAndReplayFrom: records span segments; replay from a later
+// segment sees only its suffix; a reopened log never reuses a segment.
+func TestRotateAndReplayFrom(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Segment() != 1 {
+		t.Fatalf("first segment = %d, want 1", l.Segment())
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg2, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg2 != 2 {
+		t.Fatalf("rotate -> %d, want 2", seg2)
+	}
+	for i := 0; i < 2; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+
+	var all, suffix []string
+	if _, err := ReplayLog(dir, 0, func(p []byte) error { all = append(all, string(p)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReplayLog(dir, seg2, func(p []byte) error { suffix = append(suffix, string(p)); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a0", "a1", "a2", "b0", "b1"}; fmt.Sprint(all) != fmt.Sprint(want) {
+		t.Fatalf("full replay = %v, want %v", all, want)
+	}
+	if want := []string{"b0", "b1"}; fmt.Sprint(suffix) != fmt.Sprint(want) || st.Segments != 1 {
+		t.Fatalf("suffix replay = %v (segments=%d), want %v in 1 segment", suffix, st.Segments, want)
+	}
+
+	// Reopen: must start at segment 3, even though 1 and 2 exist.
+	l2, err := OpenLog(dir, SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Segment() != 3 {
+		t.Fatalf("reopened segment = %d, want 3", l2.Segment())
+	}
+	l2.Close()
+}
+
+// TestGroupCommitConcurrentAppend: concurrent appenders under group commit
+// all become durable and replayable.
+func TestGroupCommitConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs <- l.Append([]byte(fmt.Sprintf("rec-%03d", i)))
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	st, err := ReplayLog(dir, 0, func(p []byte) error { seen[string(p)] = true; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != n || st.Truncated {
+		t.Fatalf("replayed %d records (truncated=%v), want %d clean", st.Records, st.Truncated, n)
+	}
+	for i := 0; i < n; i++ {
+		if !seen[fmt.Sprintf("rec-%03d", i)] {
+			t.Fatalf("record %d missing after replay", i)
+		}
+	}
+}
+
+func TestParseSyncMode(t *testing.T) {
+	for s, want := range map[string]SyncMode{"": SyncGroup, "group": SyncGroup, "always": SyncAlways, "none": SyncNone} {
+		got, err := ParseSyncMode(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseSyncMode("bogus"); err == nil {
+		t.Fatal("ParseSyncMode(bogus) accepted")
+	}
+}
+
+// TestCheckpointRoundTrip: write → latest → compact; a damaged newest
+// checkpoint falls back to the previous one; .tmp staging dirs are ignored.
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	// Seed WAL segments 1..3 so compaction has something to delete.
+	l, err := OpenLog(dir, SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("one"))
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("two"))
+	seg3, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("three"))
+	l.Close()
+
+	blobsA := [][]byte{[]byte("shard0-a"), []byte("shard1-a")}
+	blobsB := [][]byte{[]byte("shard0-b"), []byte("shard1-b")}
+	if err := WriteCheckpoint(dir, 2, blobsA, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpoint(dir, seg3, blobsB, 20); err != nil {
+		t.Fatal(err)
+	}
+
+	mf, shards, ok, err := LatestCheckpoint(dir)
+	if err != nil || !ok {
+		t.Fatalf("latest: ok=%v err=%v", ok, err)
+	}
+	if mf.Seq != seg3 || mf.Shards != 2 || mf.Records != 20 {
+		t.Fatalf("manifest = %+v", mf)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], blobsB[i]) {
+			t.Fatalf("shard %d blob mismatch", i)
+		}
+	}
+
+	// Damage the newest checkpoint's shard file: fall back to seq 2.
+	if err := os.WriteFile(filepath.Join(dir, CheckpointName(seg3), "shard-0001.snap"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mf, shards, ok, err = LatestCheckpoint(dir)
+	if err != nil || !ok || mf.Seq != 2 {
+		t.Fatalf("fallback: ok=%v err=%v seq=%d", ok, err, mf.Seq)
+	}
+	if !bytes.Equal(shards[0], blobsA[0]) {
+		t.Fatal("fallback served wrong blob")
+	}
+
+	// A stray staging dir must not be listed as a checkpoint.
+	if err := os.MkdirAll(filepath.Join(dir, "ckpt-00000099.tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := Checkpoints(dir)
+	if err != nil || fmt.Sprint(seqs) != fmt.Sprint([]int{2, seg3}) {
+		t.Fatalf("checkpoints = %v, %v", seqs, err)
+	}
+
+	// Compact below seq 2: segment 1 and nothing else goes; replay from 2
+	// still works.
+	segs, ckpts, err := CompactBefore(dir, 2)
+	if err != nil || segs != 1 || ckpts != 0 {
+		t.Fatalf("compact: segs=%d ckpts=%d err=%v", segs, ckpts, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, SegmentName(1))); !os.IsNotExist(err) {
+		t.Fatal("segment 1 survived compaction")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ckpt-00000099.tmp")); !os.IsNotExist(err) {
+		t.Fatal("stale staging dir survived compaction")
+	}
+	var got []string
+	if _, err := ReplayLog(dir, 2, func(p []byte) error { got = append(got, string(p)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint([]string{"two", "three"}) {
+		t.Fatalf("post-compact replay = %v", got)
+	}
+
+	// Compact below seq 3: checkpoint 2 goes too.
+	if _, ckpts, err = CompactBefore(dir, seg3); err != nil || ckpts != 1 {
+		t.Fatalf("compact2: ckpts=%d err=%v", ckpts, err)
+	}
+}
+
+// TestLatestCheckpointEmpty: a data dir without checkpoints reports ok=false.
+func TestLatestCheckpointEmpty(t *testing.T) {
+	if _, _, ok, err := LatestCheckpoint(t.TempDir()); ok || err != nil {
+		t.Fatalf("ok=%v err=%v, want false/nil", ok, err)
+	}
+	if _, _, ok, err := LatestCheckpoint(filepath.Join(t.TempDir(), "missing")); ok || err != nil {
+		t.Fatalf("missing dir: ok=%v err=%v", ok, err)
+	}
+}

@@ -90,7 +90,14 @@ func (s *Study) Table1() Result {
 // study's extract-once identifier cache.
 func (s *Study) Table2() Result {
 	ids := s.ExtractedIdentifiers()
-	rows := analysis.EntropyTableWith(s.Inspector, ids)
+	return EntropyResult(analysis.EntropyTableWith(s.Inspector, ids))
+}
+
+// EntropyResult renders Table 2 rows as the registry's canonical artifact
+// Result. Exported so the sharded serving layer, which assembles rows by
+// merging per-shard partials, produces bytes identical to the offline
+// Study's — one rendering path, two row sources.
+func EntropyResult(rows []analysis.EntropyRow) Result {
 	metrics := map[string]float64{}
 	for _, r := range rows {
 		key := strings.ReplaceAll(r.Key(), ", ", "+")
@@ -453,7 +460,13 @@ func (s *Study) ChaosReport() Result {
 // reduce cross-session household re-identification?
 func (s *Study) Mitigations() Result {
 	ids := s.ExtractedIdentifiers()
-	rows := analysis.MitigationTableWith(s.Inspector, ids)
+	return MitigationResult(analysis.MitigationTableWith(s.Inspector, ids))
+}
+
+// MitigationResult renders §7 sweep rows as the canonical artifact Result —
+// the shared rendering path for the offline Study and the sharded serving
+// layer (see EntropyResult).
+func MitigationResult(rows []analysis.ReidentificationResult) Result {
 	metrics := map[string]float64{}
 	for _, r := range rows {
 		name := analysis.MitigationName(r.Mitigation)
