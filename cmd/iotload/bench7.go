@@ -1,0 +1,237 @@
+package main
+
+// The -sustained mode (BENCH_7): a mixed read/write benchmark that holds the
+// ingest stream open while readers hammer the fleet Table 2. Every round
+// re-uploads every household with different device contents (same IDs), so
+// each upload retracts the household's previous contribution and folds the
+// new one — shard versions never sit still, and every artifact read pays the
+// path under test: an O(1) clone-and-merge of live aggregates with
+// incremental maintenance on, or a full per-shard batch recompute with it
+// off. The same load runs against both configurations; the record reports
+// read-latency speedup and upload-throughput ratio, and the run fails unless
+// both servers converge to byte-identical artifacts and the incremental
+// server's shadow-batch self-check is clean.
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"iotlan/internal/inspector"
+	"iotlan/internal/serve"
+)
+
+// bench7Record is the BENCH_7.json schema.
+type bench7Record struct {
+	Seed       int64 `json:"seed"`
+	Households int   `json:"households"`
+	Writers    int   `json:"writers"`
+	Readers    int   `json:"readers"`
+	Rounds     int   `json:"rounds"`
+	Shards     int   `json:"shards,omitempty"`
+
+	Incremental sustainedStats `json:"incremental"`
+	Recompute   sustainedStats `json:"recompute"`
+
+	// ReadSpeedupP50/P95 divide the recompute path's mid-ingest artifact
+	// read latency by the incremental path's — the headline of this bench.
+	ReadSpeedupP50 float64 `json:"read_speedup_p50"`
+	ReadSpeedupP95 float64 `json:"read_speedup_p95"`
+	// UploadThroughputRatio is incremental / recompute uploads-per-second:
+	// what maintaining live aggregates at ingest costs the write path.
+	UploadThroughputRatio float64 `json:"upload_throughput_ratio"`
+
+	// SelfCheckMismatches gates the run: the incremental server's live
+	// aggregates, shadow-recomputed after the load, must match batch exactly.
+	SelfCheckMismatches int    `json:"selfcheck_mismatches"`
+	Identical           bool   `json:"identical"`
+	ChecksumSHA256      string `json:"checksum_sha256"`
+}
+
+// sustainedStats is one configuration's half of the comparison.
+type sustainedStats struct {
+	Uploads       int     `json:"uploads"`
+	Retries429    int     `json:"retries_429"`
+	Dropped       int     `json:"dropped"`
+	WallMS        float64 `json:"wall_ms"`
+	UploadsPerSec float64 `json:"uploads_per_sec"`
+	Reads         int     `json:"reads"`
+	ReadP50MS     float64 `json:"read_p50_ms"`
+	ReadP95MS     float64 `json:"read_p95_ms"`
+	ReadP99MS     float64 `json:"read_p99_ms"`
+}
+
+// runSustained executes the full BENCH_7 comparison and writes the record.
+func runSustained(seed int64, households, writers, readers, rounds, shards, workers, queue int, out string) {
+	if rounds < 2 {
+		fatal(fmt.Errorf("-rounds %d: sustained mode needs at least 2 (every round must dirty the fleet)", rounds))
+	}
+	base := inspector.Generate(seed, households)
+	// Round r's corpus: base IDs, round-specific device contents. Distinct
+	// bytes every round, so no upload short-circuits in the content-hash
+	// result cache — each one reaches the fold path and retracts its
+	// predecessor.
+	variants := make([][]*inspector.Household, rounds)
+	variants[0] = base.Households
+	for r := 1; r < rounds; r++ {
+		alt := inspector.Generate(seed+int64(r), households)
+		variants[r] = make([]*inspector.Household, households)
+		for i := range variants[r] {
+			variants[r][i] = &inspector.Household{ID: base.Households[i].ID, Devices: alt.Households[i].Devices}
+		}
+	}
+
+	runPass := func(incremental bool) (sustainedStats, string, int) {
+		srv, err := serve.Open(serve.Config{
+			Workers: workers, QueueCapacity: queue, Shards: shards,
+			DisableIncremental: !incremental,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		httpSrv := serve.NewHTTPServer("", srv.Mux())
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		go httpSrv.Serve(ln)
+		defer func() {
+			httpSrv.Close()
+			srv.Close()
+		}()
+		addr := "http://" + ln.Addr().String()
+		client := &http.Client{Timeout: 2 * time.Minute}
+
+		// Writers: each owns a disjoint household slice and walks the rounds
+		// in order, so a household's uploads are sequenced — every round
+		// retracts exactly the previous round's contribution — while the
+		// fleet as a whole stays under continuous concurrent mutation.
+		var wg sync.WaitGroup
+		outcomes := make(chan outcome, rounds*households)
+		start := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					for i := w; i < households; i += writers {
+						var buf bytes.Buffer
+						if err := inspector.EncodeWire(&buf, []*inspector.Household{variants[r][i]}); err != nil {
+							fatal(err)
+						}
+						outcomes <- post(client, addr, upload{path: "/v1/ingest/inspector", body: buf.Bytes()})
+					}
+				}
+			}(w)
+		}
+
+		// Readers: hammer the artifact for the whole write window; every
+		// recorded latency is a mid-ingest read.
+		stop := make(chan struct{})
+		var rg sync.WaitGroup
+		readLats := make([][]time.Duration, readers)
+		for ri := 0; ri < readers; ri++ {
+			rg.Add(1)
+			go func(ri int) {
+				defer rg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					t0 := time.Now()
+					resp, err := client.Get(addr + "/v1/artifacts/table2")
+					if err != nil {
+						fatal(err)
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						fatal(fmt.Errorf("sustained read: status %d", resp.StatusCode))
+					}
+					readLats[ri] = append(readLats[ri], time.Since(t0))
+				}
+			}(ri)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		close(stop)
+		rg.Wait()
+		close(outcomes)
+
+		var st sustainedStats
+		st.WallMS = float64(wall) / float64(time.Millisecond)
+		for o := range outcomes {
+			st.Uploads++
+			st.Retries429 += o.retries
+			if o.dropped {
+				st.Dropped++
+			}
+		}
+		if s := wall.Seconds(); s > 0 {
+			st.UploadsPerSec = float64(st.Uploads) / s
+		}
+		var lats []time.Duration
+		for _, l := range readLats {
+			lats = append(lats, l...)
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		st.Reads = len(lats)
+		st.ReadP50MS = percentileMS(lats, 0.50)
+		st.ReadP95MS = percentileMS(lats, 0.95)
+		st.ReadP99MS = percentileMS(lats, 0.99)
+
+		res, err := fetchArtifact(client, addr, "table2")
+		if err != nil {
+			fatal(err)
+		}
+		return st, checksum(res), srv.SelfCheck()
+	}
+
+	rec := bench7Record{
+		Seed: seed, Households: households, Writers: writers,
+		Readers: readers, Rounds: rounds, Shards: shards,
+	}
+	var incSum, recSum string
+	rec.Incremental, incSum, rec.SelfCheckMismatches = runPass(true)
+	rec.Recompute, recSum, _ = runPass(false)
+	rec.Identical = incSum == recSum
+	rec.ChecksumSHA256 = incSum
+	if rec.Incremental.ReadP50MS > 0 {
+		rec.ReadSpeedupP50 = rec.Recompute.ReadP50MS / rec.Incremental.ReadP50MS
+	}
+	if rec.Incremental.ReadP95MS > 0 {
+		rec.ReadSpeedupP95 = rec.Recompute.ReadP95MS / rec.Incremental.ReadP95MS
+	}
+	if rec.Recompute.UploadsPerSec > 0 {
+		rec.UploadThroughputRatio = rec.Incremental.UploadsPerSec / rec.Recompute.UploadsPerSec
+	}
+
+	writeJSON(rec, out)
+	fmt.Printf("bench7: %d households × %d rounds, %d writers / %d readers\n", households, rounds, writers, readers)
+	fmt.Printf("  incremental: %d uploads %.0f/sec, %d mid-ingest reads p50 %.2f ms p95 %.2f ms\n",
+		rec.Incremental.Uploads, rec.Incremental.UploadsPerSec, rec.Incremental.Reads,
+		rec.Incremental.ReadP50MS, rec.Incremental.ReadP95MS)
+	fmt.Printf("  recompute:   %d uploads %.0f/sec, %d mid-ingest reads p50 %.2f ms p95 %.2f ms\n",
+		rec.Recompute.Uploads, rec.Recompute.UploadsPerSec, rec.Recompute.Reads,
+		rec.Recompute.ReadP50MS, rec.Recompute.ReadP95MS)
+	fmt.Printf("  read speedup p50 %.1f× p95 %.1f×, upload throughput ratio %.2f, identical=%v, selfcheck mismatches=%d → %s\n",
+		rec.ReadSpeedupP50, rec.ReadSpeedupP95, rec.UploadThroughputRatio, rec.Identical, rec.SelfCheckMismatches, out)
+	if rec.Incremental.Dropped+rec.Recompute.Dropped > 0 {
+		fmt.Fprintln(os.Stderr, "bench7: uploads dropped — backpressure contract violated")
+		os.Exit(1)
+	}
+	if rec.SelfCheckMismatches > 0 {
+		fmt.Fprintln(os.Stderr, "bench7: shadow-batch self-check found mismatches — incremental aggregates diverged")
+		os.Exit(1)
+	}
+	if !rec.Identical {
+		fmt.Fprintln(os.Stderr, "bench7: incremental and recompute servers diverged on the final artifact")
+		os.Exit(1)
+	}
+}

@@ -30,12 +30,22 @@
 // -data-dir makes it durable (WAL + checkpoints), so one command exercises
 // the full sharded/durable ingest path.
 //
+// -sustained switches to the BENCH_7 mixed read/write comparison: the same
+// churning load (every round re-uploads every household with changed
+// contents) runs against a self-hosted server twice — incremental artifact
+// maintenance on, then off — while concurrent readers time mid-ingest fleet
+// Table 2 reads. The record reports the read-latency speedup and upload
+// throughput ratio, and the run fails unless both servers converge to
+// byte-identical artifacts and the incremental shadow-batch self-check is
+// clean. See cmd/iotload/bench7.go.
+//
 // Usage:
 //
 //	iotload [-households 200] [-concurrency 16] [-seed 1]
 //	        [-mode mixed|inspector|capture] [-dup-frac 0.25]
 //	        [-addr host:port] [-queue 64] [-workers N] [-shards N]
 //	        [-data-dir DIR] [-checkpoint-every 4096] [-stream]
+//	        [-sustained] [-readers 2] [-rounds 5]
 //	        [-out BENCH_5.json]
 package main
 
@@ -125,8 +135,19 @@ func main() {
 	dataDir := flag.String("data-dir", "", "self-hosted server durable state dir (empty = in-memory)")
 	checkpointEvery := flag.Int("checkpoint-every", 4096, "self-hosted server checkpoint cadence in WAL records")
 	stream := flag.Bool("stream", false, "generate each household on demand instead of materializing the corpus (inspector mode only)")
+	sustained := flag.Bool("sustained", false, "BENCH_7 mode: sustained mixed read/write load, incremental vs recompute read path (self-hosted only)")
+	readers := flag.Int("readers", 2, "concurrent artifact readers in -sustained mode")
+	rounds := flag.Int("rounds", 5, "re-upload rounds in -sustained mode (each round changes every household's contents)")
 	out := flag.String("out", "BENCH_5.json", "output file (\"-\" for stdout)")
 	flag.Parse()
+	if *sustained {
+		if *addr != "" {
+			fmt.Fprintln(os.Stderr, "iotload: -sustained self-hosts both configurations; -addr is not supported")
+			os.Exit(2)
+		}
+		runSustained(*seed, *households, *concurrency, *readers, *rounds, *shards, *workers, *queue, *out)
+		return
+	}
 	if *mode != "inspector" && *mode != "capture" && *mode != "mixed" {
 		fmt.Fprintf(os.Stderr, "iotload: unknown -mode %q\n", *mode)
 		os.Exit(2)

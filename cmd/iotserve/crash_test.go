@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -154,11 +155,14 @@ func (p *serveProc) metricValue(t *testing.T, name string) string {
 //     checkpoint, no WAL close;
 //  2. scar the log the way a torn write would (half a record appended to a
 //     fresh segment);
-//  3. boot B on the same directory (different shard count): every
-//     acknowledged household is served, the torn tail is counted under
-//     serve_wal_replay_truncated, nothing else is lost;
+//  3. boot B on the same directory (different shard count) with the
+//     shadow-batch self-check armed: every acknowledged household is
+//     served, the torn tail is counted under serve_wal_replay_truncated,
+//     nothing else is lost, and the boot-time self-check proves the live
+//     incremental aggregates the replay rebuilt render byte-identically to
+//     a batch recompute (serve_selfcheck{result="ok"} > 0, no mismatches);
 //  4. upload the full fleet and compare artifact bytes against a server
-//     that never crashed: checksum-identical.
+//     that never crashed: checksum-identical, self-check still clean.
 func TestCrashRecovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("subprocess harness")
@@ -216,11 +220,26 @@ func TestCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Phase 3: boot on the scarred directory with a different shard count.
-	b := startServe(t, bin, "-data-dir", dataDir, "-shards", "7", "-workers", "2")
+	// Phase 3: boot on the scarred directory with a different shard count,
+	// self-checking after every fold.
+	b := startServe(t, bin, "-data-dir", dataDir, "-shards", "7", "-workers", "2", "-selfcheck-every", "1")
 	if got := b.metricValue(t, "serve_wal_replay_truncated"); got != "1" {
 		t.Fatalf("serve_wal_replay_truncated = %q, want 1", got)
 	}
+	// The boot-time self-check ran against exactly the recovered state: the
+	// live partials rebuilt by replaying through the fold path must match a
+	// batch recompute of the recovered records, shard by shard.
+	checkSelfCheck := func(when string) {
+		t.Helper()
+		ok := b.metricValue(t, `serve_selfcheck{result="ok"}`)
+		if n, err := strconv.Atoi(ok); err != nil || n <= 0 {
+			t.Fatalf("%s: serve_selfcheck{result=\"ok\"} = %q, want > 0", when, ok)
+		}
+		if bad := b.metricValue(t, `serve_selfcheck{result="mismatch"}`); bad != "" && bad != "0" {
+			t.Fatalf("%s: %s self-check mismatches — recovered live aggregates diverged from batch", when, bad)
+		}
+	}
+	checkSelfCheck("after recovery boot")
 	for id := range acked {
 		resp, err := http.Get(b.base + "/v1/households/" + id + "/report")
 		if err != nil {
@@ -252,6 +271,7 @@ func TestCrashRecovery(t *testing.T) {
 			t.Fatalf("%s after crash recovery differs from clean run:\n%s\nvs\n%s", name, got, want)
 		}
 	}
+	checkSelfCheck("after top-up")
 
 	// Graceful exit writes a final checkpoint: SIGTERM, then verify one
 	// exists so the next boot loads a snapshot instead of a full replay.

@@ -15,23 +15,69 @@ import (
 // sets — and counts merge. A partial computed over any subset of households
 // carries everything the final tables need from that subset; merging the
 // partials of a disjoint cover of the corpus yields aggregates identical to
-// a single whole-corpus pass, because integer sums and set unions are
-// associative and commutative, and every float (entropy) is derived only
-// *after* the merge, from identical integer counts, with sorted-key
-// summation. Hence: any partition — one shard, eight shards, one partial
-// per household — produces byte-identical rendered tables.
+// a single whole-corpus pass, because integer sums are associative and
+// commutative, and every float (entropy) is derived only *after* the merge,
+// from identical integer counts, with sorted-key summation. Hence: any
+// partition — one shard, eight shards, one partial per household — produces
+// byte-identical rendered tables.
+//
+// The partials are also *retractable*: every aggregate is an integer count
+// or a refcounted multiset (map[string]int — "distinct products" renders as
+// the key count, but each key remembers how many devices contribute it), so
+// Sub is the exact inverse of Add. Keys are deleted the moment their
+// refcount reaches zero, which makes the algebra cancellative: folding a
+// household in and retracting it restores the previous state *structurally*,
+// not just observationally — a partial built by any sequence of Add/Sub
+// calls is identical to one batch-built over the surviving households. The
+// serving layer leans on this to keep a live merged partial per fleet shard,
+// updated in O(one household) at ingest (fold the previous contribution out,
+// the new one in) instead of recomputing the shard on read. A refcount
+// underflow means a caller retracted a contribution that was never added —
+// a structural invariant violation, so Sub panics rather than serving
+// silently wrong aggregates.
 //
 // The whole-corpus entry points (EntropyTableWith, MitigationTableWith) are
 // defined as a single-partial merge, so there is exactly one aggregation
-// code path and the equivalence is structural, not aspirational. The
-// serving layer leans on this: each fleet shard keeps its partial cached
-// and an upload invalidates only its own shard's contribution.
+// code path and the equivalence is structural, not aspirational.
+
+// addCounts folds the src multiset into dst.
+func addCounts(dst, src map[string]int) {
+	for k, n := range src {
+		dst[k] += n
+	}
+}
+
+// subCounts retracts the src multiset from dst, deleting keys at refcount
+// zero so a fold-then-retract restores dst structurally. Underflow panics:
+// it means src was never folded into dst.
+func subCounts(dst, src map[string]int) {
+	for k, n := range src {
+		switch r := dst[k] - n; {
+		case r > 0:
+			dst[k] = r
+		case r == 0:
+			delete(dst, k)
+		default:
+			panic("analysis: multiset refcount underflow (retract without matching add)")
+		}
+	}
+}
+
+// cloneCounts deep-copies a multiset.
+func cloneCounts(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, n := range src {
+		dst[k] = n
+	}
+	return dst
+}
 
 // entropyCombo accumulates one identifier-combination row's inputs over a
-// household subset.
+// household subset. products and vendors are device-refcounted multisets:
+// the row reports len() (distinct values), the counts make removal exact.
 type entropyCombo struct {
 	types             []IdentifierType
-	products, vendors map[string]bool
+	products, vendors map[string]int
 	devices           int
 	households        int
 	// valueCounts maps a household's joined-sorted identifier fingerprint to
@@ -40,8 +86,9 @@ type entropyCombo struct {
 	valueCounts map[string]int
 }
 
-// EntropyPartial is the mergeable Table 2 contribution of a household
-// subset. Build with EntropyPartialOf, combine with MergeEntropy.
+// EntropyPartial is the mergeable, retractable Table 2 contribution of a
+// household subset. Build with EntropyPartialOf, combine with Add or
+// MergeEntropy, retract with Sub.
 type EntropyPartial struct {
 	combos map[string]*entropyCombo
 	// typeValues counts per-household joined identifier values per class;
@@ -51,7 +98,9 @@ type EntropyPartial struct {
 	typeHouseholds map[IdentifierType]int
 }
 
-func newEntropyPartial() *EntropyPartial {
+// NewEntropyPartial returns an empty partial — the identity of the Add/Sub
+// algebra, and the seed of the serving layer's live per-shard aggregates.
+func NewEntropyPartial() *EntropyPartial {
 	return &EntropyPartial{
 		combos: map[string]*entropyCombo{},
 		typeValues: map[IdentifierType]map[string]int{
@@ -67,10 +116,97 @@ func (p *EntropyPartial) combo(types []IdentifierType) *entropyCombo {
 	if !ok {
 		c = &entropyCombo{
 			types:    append([]IdentifierType(nil), types...),
-			products: map[string]bool{}, vendors: map[string]bool{},
+			products: map[string]int{}, vendors: map[string]int{},
 			valueCounts: map[string]int{},
 		}
 		p.combos[key] = c
+	}
+	return c
+}
+
+// Add folds q into p. q is not retained; both partials' counts are summed
+// key by key, so Add is associative and commutative up to the rendered rows.
+func (p *EntropyPartial) Add(q *EntropyPartial) {
+	for key, c := range q.combos {
+		mc, ok := p.combos[key]
+		if !ok {
+			mc = p.combo(c.types)
+		}
+		addCounts(mc.products, c.products)
+		addCounts(mc.vendors, c.vendors)
+		mc.devices += c.devices
+		mc.households += c.households
+		addCounts(mc.valueCounts, c.valueCounts)
+	}
+	for t, counts := range q.typeValues {
+		tv, ok := p.typeValues[t]
+		if !ok {
+			tv = map[string]int{}
+			p.typeValues[t] = tv
+		}
+		addCounts(tv, counts)
+	}
+	for t, n := range q.typeHouseholds {
+		p.typeHouseholds[t] += n
+	}
+}
+
+// Sub retracts a previously added q from p, deleting rows and multiset keys
+// whose counts reach zero so p ends structurally identical to a partial that
+// never saw q. Retracting a contribution that was not added panics — the
+// caller's bookkeeping, not the data, is wrong, and the aggregates can no
+// longer be trusted.
+func (p *EntropyPartial) Sub(q *EntropyPartial) {
+	for key, c := range q.combos {
+		mc, ok := p.combos[key]
+		if !ok {
+			panic("analysis: EntropyPartial.Sub of a combination never added")
+		}
+		subCounts(mc.products, c.products)
+		subCounts(mc.vendors, c.vendors)
+		mc.devices -= c.devices
+		mc.households -= c.households
+		subCounts(mc.valueCounts, c.valueCounts)
+		if mc.devices < 0 || mc.households < 0 {
+			panic("analysis: EntropyPartial.Sub count underflow")
+		}
+		if mc.devices == 0 && mc.households == 0 {
+			delete(p.combos, key)
+		}
+	}
+	for t, counts := range q.typeValues {
+		subCounts(p.typeValues[t], counts)
+	}
+	for t, n := range q.typeHouseholds {
+		r := p.typeHouseholds[t] - n
+		switch {
+		case r > 0:
+			p.typeHouseholds[t] = r
+		case r == 0:
+			delete(p.typeHouseholds, t)
+		default:
+			panic("analysis: EntropyPartial.Sub type-household underflow")
+		}
+	}
+}
+
+// Clone deep-copies p — the serving layer snapshots its live aggregates
+// under a lock and renders the copy outside it.
+func (p *EntropyPartial) Clone() *EntropyPartial {
+	c := NewEntropyPartial()
+	for key, combo := range p.combos {
+		c.combos[key] = &entropyCombo{
+			types:    append([]IdentifierType(nil), combo.types...),
+			products: cloneCounts(combo.products), vendors: cloneCounts(combo.vendors),
+			devices: combo.devices, households: combo.households,
+			valueCounts: cloneCounts(combo.valueCounts),
+		}
+	}
+	for t, counts := range p.typeValues {
+		c.typeValues[t] = cloneCounts(counts)
+	}
+	for t, n := range p.typeHouseholds {
+		c.typeHouseholds[t] = n
 	}
 	return c
 }
@@ -80,7 +216,7 @@ func (p *EntropyPartial) combo(types []IdentifierType) *entropyCombo {
 // Households must be whole — a household's devices may not be split across
 // subsets — which the serving layer guarantees by sharding on household ID.
 func EntropyPartialOf(hhs []*inspector.Household, ids *ExtractedIdentifiers) *EntropyPartial {
-	p := newEntropyPartial()
+	p := NewEntropyPartial()
 	for _, h := range hhs {
 		// Per-household accumulation: identifier values per combination and
 		// per class, folded into counts once the household is complete.
@@ -98,8 +234,8 @@ func EntropyPartialOf(hhs []*inspector.Household, ids *ExtractedIdentifiers) *En
 				}
 			}
 			c := p.combo(types)
-			c.products[d.Product.Name()] = true
-			c.vendors[d.Product.Vendor] = true
+			c.products[d.Product.Name()]++
+			c.vendors[d.Product.Vendor]++
 			c.devices++
 			key := fmt.Sprint(types)
 			comboPresent[key] = true
@@ -126,50 +262,18 @@ func EntropyPartialOf(hhs []*inspector.Household, ids *ExtractedIdentifiers) *En
 	return p
 }
 
-// MergeEntropy combines partials from a disjoint household cover into the
-// final Table 2 rows. Merging is pure count/set arithmetic; entropy and
-// uniqueness are derived from the merged counts only, so any partition of
-// the same corpus yields byte-identical rows.
-func MergeEntropy(parts []*EntropyPartial) []EntropyRow {
-	m := newEntropyPartial()
-	for _, p := range parts {
-		if p == nil {
-			continue
-		}
-		for key, c := range p.combos {
-			mc, ok := m.combos[key]
-			if !ok {
-				mc = m.combo(c.types)
-			}
-			for k := range c.products {
-				mc.products[k] = true
-			}
-			for k := range c.vendors {
-				mc.vendors[k] = true
-			}
-			mc.devices += c.devices
-			mc.households += c.households
-			for v, n := range c.valueCounts {
-				mc.valueCounts[v] += n
-			}
-		}
-		for t, counts := range p.typeValues {
-			for v, n := range counts {
-				m.typeValues[t][v] += n
-			}
-		}
-		for t, n := range p.typeHouseholds {
-			m.typeHouseholds[t] += n
-		}
-	}
-
+// rows derives the final Table 2 rows from the partial's counts. Entropy and
+// uniqueness come from the merged integers only, so any partition of the
+// same corpus — and any Add/Sub history reaching the same counts — yields
+// byte-identical rows.
+func (p *EntropyPartial) rows() []EntropyRow {
 	typeEntropy := map[IdentifierType]float64{}
-	for t, counts := range m.typeValues {
-		typeEntropy[t] = shannon(counts, m.typeHouseholds[t])
+	for t, counts := range p.typeValues {
+		typeEntropy[t] = shannon(counts, p.typeHouseholds[t])
 	}
 
 	var rows []EntropyRow
-	for _, c := range m.combos {
+	for _, c := range p.combos {
 		row := EntropyRow{
 			Types:    c.types,
 			Products: len(c.products), Vendors: len(c.vendors),
@@ -201,6 +305,20 @@ func MergeEntropy(parts []*EntropyPartial) []EntropyRow {
 	return rows
 }
 
+// MergeEntropy combines partials from a disjoint household cover into the
+// final Table 2 rows — a fold through Add, so the merge and the incremental
+// maintenance share one aggregation path.
+func MergeEntropy(parts []*EntropyPartial) []EntropyRow {
+	m := NewEntropyPartial()
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		m.Add(p)
+	}
+	return m.rows()
+}
+
 // mitigationRegimes is the §7 sweep order — shared by the batch table, the
 // partial, and the merge so rows always line up.
 var mitigationRegimes = []Mitigation{
@@ -212,84 +330,152 @@ var mitigationRegimes = []Mitigation{
 	MitigateAll,
 }
 
-// session1Entry is one session-1 fingerprint's claim: the owning household
-// while the fingerprint is unique, and how many households produced it
-// (count > 1 means no re-identification is possible through it).
-type session1Entry struct {
-	owner string
-	count int
-}
-
 // regimePartial is one mitigation regime's contribution from a household
-// subset: session-1 fingerprint claims and session-2 fingerprint holders.
+// subset: per-fingerprint owner multisets for each observation session.
+// s1[fp] records which households claimed fp in session 1 and how often —
+// re-identification through fp is possible only while exactly one household
+// holds exactly one claim. s2[fp] counts session-2 holders the same way.
+// The nested counts make the partial retractable: removing a household's
+// claims decrements, and a fingerprint row disappears when its last claim
+// does.
 type regimePartial struct {
-	s1 map[string]session1Entry
-	s2 map[string][]string
+	s1 map[string]map[string]int
+	s2 map[string]map[string]int
 }
 
-// MitigationPartial is the mergeable §7 sweep contribution of a household
-// subset, one regimePartial per mitigationRegimes entry.
+// MitigationPartial is the mergeable, retractable §7 sweep contribution of
+// a household subset, one regimePartial per mitigationRegimes entry.
 type MitigationPartial struct {
 	regimes []regimePartial
+}
+
+// NewMitigationPartial returns an empty partial — the identity of the
+// Add/Sub algebra, and the seed of the serving layer's live aggregates.
+func NewMitigationPartial() *MitigationPartial {
+	p := &MitigationPartial{regimes: make([]regimePartial, len(mitigationRegimes))}
+	for i := range p.regimes {
+		p.regimes[i] = regimePartial{
+			s1: map[string]map[string]int{},
+			s2: map[string]map[string]int{},
+		}
+	}
+	return p
+}
+
+// addClaim records one household's fingerprint claim in an owner multiset.
+func addClaim(m map[string]map[string]int, fp, owner string) {
+	owners, ok := m[fp]
+	if !ok {
+		owners = map[string]int{}
+		m[fp] = owners
+	}
+	owners[owner]++
 }
 
 // MitigationPartialOf computes both observation sessions' fingerprints for
 // every regime over a household subset, reusing a precomputed identifier
 // extraction (nil extracts inline).
 func MitigationPartialOf(hhs []*inspector.Household, ids *ExtractedIdentifiers) *MitigationPartial {
-	p := &MitigationPartial{regimes: make([]regimePartial, len(mitigationRegimes))}
+	p := NewMitigationPartial()
 	for ri, m := range mitigationRegimes {
-		rp := regimePartial{s1: map[string]session1Entry{}, s2: map[string][]string{}}
+		rp := p.regimes[ri]
 		for _, h := range hhs {
 			if fp := fingerprint(h, ids, m, 1); fp != "" {
-				e := rp.s1[fp]
-				e.owner = h.ID
-				e.count++
-				rp.s1[fp] = e
+				addClaim(rp.s1, fp, h.ID)
 			}
 			if fp := fingerprint(h, ids, m, 2); fp != "" {
-				rp.s2[fp] = append(rp.s2[fp], h.ID)
+				addClaim(rp.s2, fp, h.ID)
 			}
 		}
-		p.regimes[ri] = rp
 	}
 	return p
 }
 
-// MergeMitigations combines partials from a disjoint household cover into
-// the final sweep rows, in mitigationRegimes order.
-func MergeMitigations(parts []*MitigationPartial) []ReidentificationResult {
-	out := make([]ReidentificationResult, len(mitigationRegimes))
-	for ri, m := range mitigationRegimes {
-		s1 := map[string]session1Entry{}
-		s2 := map[string][]string{}
-		for _, p := range parts {
-			if p == nil {
-				continue
+// Add folds q into p.
+func (p *MitigationPartial) Add(q *MitigationPartial) {
+	for ri := range p.regimes {
+		qr := q.regimes[ri]
+		pr := p.regimes[ri]
+		for fp, owners := range qr.s1 {
+			dst, ok := pr.s1[fp]
+			if !ok {
+				dst = map[string]int{}
+				pr.s1[fp] = dst
 			}
-			rp := p.regimes[ri]
-			for fp, e := range rp.s1 {
-				me := s1[fp]
-				if me.count == 0 {
-					me.owner = e.owner
-				}
-				me.count += e.count
-				s1[fp] = me
+			addCounts(dst, owners)
+		}
+		for fp, owners := range qr.s2 {
+			dst, ok := pr.s2[fp]
+			if !ok {
+				dst = map[string]int{}
+				pr.s2[fp] = dst
 			}
-			for fp, owners := range rp.s2 {
-				s2[fp] = append(s2[fp], owners...)
+			addCounts(dst, owners)
+		}
+	}
+}
+
+// Sub retracts a previously added q from p, with the same delete-at-zero /
+// panic-on-underflow contract as EntropyPartial.Sub.
+func (p *MitigationPartial) Sub(q *MitigationPartial) {
+	subClaims := func(dst, src map[string]map[string]int) {
+		for fp, owners := range src {
+			d, ok := dst[fp]
+			if !ok {
+				panic("analysis: MitigationPartial.Sub of a fingerprint never added")
+			}
+			subCounts(d, owners)
+			if len(d) == 0 {
+				delete(dst, fp)
 			}
 		}
+	}
+	for ri := range p.regimes {
+		subClaims(p.regimes[ri].s1, q.regimes[ri].s1)
+		subClaims(p.regimes[ri].s2, q.regimes[ri].s2)
+	}
+}
+
+// Clone deep-copies p.
+func (p *MitigationPartial) Clone() *MitigationPartial {
+	c := NewMitigationPartial()
+	for ri := range p.regimes {
+		for fp, owners := range p.regimes[ri].s1 {
+			c.regimes[ri].s1[fp] = cloneCounts(owners)
+		}
+		for fp, owners := range p.regimes[ri].s2 {
+			c.regimes[ri].s2[fp] = cloneCounts(owners)
+		}
+	}
+	return c
+}
+
+// rows derives the final sweep rows, in mitigationRegimes order. A session-2
+// holder is re-identified when its fingerprint's session-1 claims reduce to
+// a single claim by a single household — the multiset total, not the map
+// width, so duplicate claims across or within subsets break uniqueness
+// exactly as the batch analysis defines.
+func (p *MitigationPartial) rows() []ReidentificationResult {
+	out := make([]ReidentificationResult, len(mitigationRegimes))
+	for ri, m := range mitigationRegimes {
+		rp := p.regimes[ri]
 		res := ReidentificationResult{Mitigation: m}
 		counts := map[string]int{}
-		for fp, owners := range s2 {
-			res.Households += len(owners)
-			counts[fp] += len(owners)
-			if e, ok := s1[fp]; ok && e.count == 1 {
-				for _, owner := range owners {
-					if owner == e.owner {
-						res.Reidentified++
-					}
+		for fp, owners := range rp.s2 {
+			holders := 0
+			for _, n := range owners {
+				holders += n
+			}
+			res.Households += holders
+			counts[fp] += holders
+			if s1owners, ok := rp.s1[fp]; ok {
+				claims, claimant := 0, ""
+				for owner, n := range s1owners {
+					claims += n
+					claimant = owner
+				}
+				if claims == 1 {
+					res.Reidentified += owners[claimant]
 				}
 			}
 		}
@@ -300,4 +486,37 @@ func MergeMitigations(parts []*MitigationPartial) []ReidentificationResult {
 		out[ri] = res
 	}
 	return out
+}
+
+// MergeMitigations combines partials from a disjoint household cover into
+// the final sweep rows — a fold through Add, sharing the incremental path.
+func MergeMitigations(parts []*MitigationPartial) []ReidentificationResult {
+	m := NewMitigationPartial()
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		m.Add(p)
+	}
+	return m.rows()
+}
+
+// HouseholdPartial bundles one household's singleton contributions to every
+// sharded artifact — the unit the serving layer folds in at ingest and
+// retracts when the household re-uploads.
+type HouseholdPartial struct {
+	Entropy     *EntropyPartial
+	Mitigations *MitigationPartial
+}
+
+// HouseholdPartialOf builds a household's singleton partials with one shared
+// identifier extraction (each Of call would otherwise re-extract the devices
+// — the mitigation sweep alone fingerprints 6 regimes × 2 sessions).
+func HouseholdPartialOf(h *inspector.Household) *HouseholdPartial {
+	one := []*inspector.Household{h}
+	ids := ExtractIdentifiers(&inspector.Dataset{Households: one}, 1)
+	return &HouseholdPartial{
+		Entropy:     EntropyPartialOf(one, ids),
+		Mitigations: MitigationPartialOf(one, ids),
+	}
 }

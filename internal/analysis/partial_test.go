@@ -129,3 +129,139 @@ func TestPartialBatchedFold(t *testing.T) {
 		t.Fatalf("batched fold differs:\n%s\nvs\n%s", got, want)
 	}
 }
+
+// TestPartialRetraction: Sub is the exact inverse of Add — fold every
+// household's singleton partial into a live aggregate, retract a subset, and
+// the survivor must equal a batch partial over the remaining households
+// *structurally* (DeepEqual of internals, thanks to delete-at-zero
+// refcounts), not just in rendered rows.
+func TestPartialRetraction(t *testing.T) {
+	ds := inspector.Generate(21, 60)
+	liveE := NewEntropyPartial()
+	liveM := NewMitigationPartial()
+	contribs := make([]*HouseholdPartial, len(ds.Households))
+	for i, h := range ds.Households {
+		contribs[i] = HouseholdPartialOf(h)
+		liveE.Add(contribs[i].Entropy)
+		liveM.Add(contribs[i].Mitigations)
+	}
+
+	// Retract every third household.
+	var survivors []*inspector.Household
+	for i, h := range ds.Households {
+		if i%3 == 0 {
+			liveE.Sub(contribs[i].Entropy)
+			liveM.Sub(contribs[i].Mitigations)
+			continue
+		}
+		survivors = append(survivors, h)
+	}
+	wantE := EntropyPartialOf(survivors, nil)
+	wantM := MitigationPartialOf(survivors, nil)
+	if !reflect.DeepEqual(liveE, wantE) {
+		t.Fatal("entropy partial after retraction differs structurally from batch over survivors")
+	}
+	if !reflect.DeepEqual(liveM, wantM) {
+		t.Fatal("mitigation partial after retraction differs structurally from batch over survivors")
+	}
+	if got, want := fmt.Sprint(MergeEntropy([]*EntropyPartial{liveE})), fmt.Sprint(MergeEntropy([]*EntropyPartial{wantE})); got != want {
+		t.Fatalf("rendered entropy rows differ:\n%s\nvs\n%s", got, want)
+	}
+	if got, want := fmt.Sprint(MergeMitigations([]*MitigationPartial{liveM})), fmt.Sprint(MergeMitigations([]*MitigationPartial{wantM})); got != want {
+		t.Fatalf("rendered mitigation rows differ:\n%s\nvs\n%s", got, want)
+	}
+
+	// Retracting everything restores the empty partial exactly.
+	for i, h := range ds.Households {
+		if i%3 != 0 {
+			_ = h
+			liveE.Sub(contribs[i].Entropy)
+			liveM.Sub(contribs[i].Mitigations)
+		}
+	}
+	if !reflect.DeepEqual(liveE, NewEntropyPartial()) {
+		t.Fatal("entropy partial not structurally empty after retracting everything")
+	}
+	if !reflect.DeepEqual(liveM, NewMitigationPartial()) {
+		t.Fatal("mitigation partial not structurally empty after retracting everything")
+	}
+}
+
+// TestPartialUpdate: an in-place update (retract the old contribution, fold
+// the new one) equals a batch pass over the updated corpus — the exact
+// operation the serving layer performs per re-upload.
+func TestPartialUpdate(t *testing.T) {
+	ds := inspector.Generate(22, 50)
+	alt := inspector.Generate(23, 50) // replacement contents, same corpus size
+	live := NewEntropyPartial()
+	liveM := NewMitigationPartial()
+	for _, h := range ds.Households {
+		c := HouseholdPartialOf(h)
+		live.Add(c.Entropy)
+		liveM.Add(c.Mitigations)
+	}
+
+	// Replace households 5 and 17 with different device sets under the same
+	// IDs — the "household uploads twice with different contents" case.
+	updated := append([]*inspector.Household{}, ds.Households...)
+	for _, i := range []int{5, 17} {
+		repl := &inspector.Household{ID: ds.Households[i].ID, Devices: alt.Households[i].Devices}
+		old := HouseholdPartialOf(ds.Households[i])
+		neu := HouseholdPartialOf(repl)
+		live.Sub(old.Entropy)
+		live.Add(neu.Entropy)
+		liveM.Sub(old.Mitigations)
+		liveM.Add(neu.Mitigations)
+		updated[i] = repl
+	}
+	if !reflect.DeepEqual(live, EntropyPartialOf(updated, nil)) {
+		t.Fatal("entropy partial after update differs structurally from batch over updated corpus")
+	}
+	if !reflect.DeepEqual(liveM, MitigationPartialOf(updated, nil)) {
+		t.Fatal("mitigation partial after update differs structurally from batch over updated corpus")
+	}
+}
+
+// TestPartialSubUnderflowPanics: retracting a contribution that was never
+// added must panic loudly instead of serving silently wrong aggregates.
+func TestPartialSubUnderflowPanics(t *testing.T) {
+	ds := inspector.Generate(24, 2)
+	a := HouseholdPartialOf(ds.Households[0])
+	b := HouseholdPartialOf(ds.Households[1])
+	live := NewEntropyPartial()
+	live.Add(a.Entropy)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sub of a never-added contribution did not panic")
+		}
+	}()
+	live.Sub(b.Entropy)
+}
+
+// TestPartialCloneIndependence: a clone shares no mutable state with its
+// source — mutating the original must not leak into the copy.
+func TestPartialCloneIndependence(t *testing.T) {
+	ds := inspector.Generate(25, 20)
+	live := NewEntropyPartial()
+	liveM := NewMitigationPartial()
+	for _, h := range ds.Households {
+		c := HouseholdPartialOf(h)
+		live.Add(c.Entropy)
+		liveM.Add(c.Mitigations)
+	}
+	cloneE, cloneM := live.Clone(), liveM.Clone()
+	wantE := fmt.Sprint(MergeEntropy([]*EntropyPartial{cloneE}))
+	wantM := fmt.Sprint(MergeMitigations([]*MitigationPartial{cloneM}))
+	c := HouseholdPartialOf(ds.Households[0])
+	live.Sub(c.Entropy)
+	liveM.Sub(c.Mitigations)
+	if got := fmt.Sprint(MergeEntropy([]*EntropyPartial{cloneE})); got != wantE {
+		t.Fatal("mutating the source changed the entropy clone")
+	}
+	if got := fmt.Sprint(MergeMitigations([]*MitigationPartial{cloneM})); got != wantM {
+		t.Fatal("mutating the source changed the mitigation clone")
+	}
+	if !reflect.DeepEqual(cloneE, EntropyPartialOf(ds.Households, nil)) {
+		t.Fatal("entropy clone differs structurally from batch")
+	}
+}

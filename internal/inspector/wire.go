@@ -1,6 +1,7 @@
 package inspector
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -89,6 +90,20 @@ func (h *Household) Wire() WireHousehold {
 		w.Devices[i] = wd
 	}
 	return w
+}
+
+// ContentHash digests a household's wire form — the identity of its
+// analysis contribution. The wire encoding is deterministic (fixed struct
+// field order, no maps), so two records with equal hashes produce identical
+// singleton partials; the serving layer uses this to make refolds
+// idempotent: re-ingesting an unchanged household skips the retract/fold
+// and the shard version bump, keeping warm caches warm.
+func (h *Household) ContentHash() [sha256.Size]byte {
+	b, err := json.Marshal(h.Wire())
+	if err != nil { // unreachable: wire types always marshal
+		return [sha256.Size]byte{}
+	}
+	return sha256.Sum256(b)
 }
 
 // Household reconstructs the in-memory form, validating the OUI.

@@ -293,6 +293,15 @@ func promValidateHistograms(types map[string]string, samples []PromSample) error
 // series' parsed samples: cumulative `le` buckets from an exposition page,
 // the inverse of what WritePrometheus renders. Buckets need not be sorted.
 // Returns 0 for an empty histogram.
+//
+// The walk is the exact mirror of Histogram.Quantile over the de-cumulated
+// counts, so scraping a page and asking the live histogram agree on every
+// input. Empty buckets are skipped when locating the target rank — the old
+// `cum >= target` walk stopped at the first bucket whose cumulative count
+// met the rank even when that bucket held no observations, which made a
+// histogram whose every observation overflowed into +Inf report 0 (no finite
+// bucket had advanced prevBound past its zero value) instead of the largest
+// finite bound the live histogram reports.
 func PromHistogramQuantile(buckets map[float64]float64, q float64) float64 {
 	bounds := make([]float64, 0, len(buckets))
 	for b := range buckets {
@@ -306,20 +315,40 @@ func PromHistogramQuantile(buckets map[float64]float64, q float64) float64 {
 	if total == 0 {
 		return 0
 	}
-	target := q * total
-	prevBound, prevCum := 0.0, 0.0
-	for _, b := range bounds {
-		cum := buckets[b]
-		if cum >= target {
-			if math.IsInf(b, 1) {
-				return prevBound
-			}
-			if cum == prevCum {
-				return b
-			}
-			return prevBound + (b-prevBound)*(target-prevCum)/(cum-prevCum)
-		}
-		prevBound, prevCum = b, cum
+	if q < 0 {
+		q = 0
 	}
-	return prevBound
+	if q > 1 {
+		q = 1
+	}
+	// largestFinite is what the +Inf bucket reports: nothing to interpolate
+	// against above the top finite bound.
+	largestFinite := func() float64 {
+		for i := len(bounds) - 1; i >= 0; i-- {
+			if !math.IsInf(bounds[i], 1) {
+				return bounds[i]
+			}
+		}
+		return 0
+	}
+	rank := q * total
+	var prevCum float64
+	for i, b := range bounds {
+		cum := buckets[b]
+		c := cum - prevCum
+		prevCum = cum
+		if cum < rank || c == 0 {
+			continue
+		}
+		if math.IsInf(b, 1) {
+			return largestFinite()
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		within := (rank - (cum - c)) / c
+		return lo + (b-lo)*within
+	}
+	return largestFinite()
 }

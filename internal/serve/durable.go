@@ -36,6 +36,13 @@ func Open(cfg Config) (*Server, error) {
 		}
 		s.wal = wal
 		s.reg.Gauge("serve_wal_segment").Set(int64(wal.Segment()))
+		if cfg.SelfCheckEvery > 0 {
+			// Workers are not running yet, so this checks exactly the
+			// recovered state: the live aggregates the replay folded must
+			// render byte-identically to a batch recompute of the recovered
+			// records.
+			s.SelfCheck()
+		}
 	}
 	s.startWorkers()
 	return s, nil
@@ -108,13 +115,18 @@ func (s *Server) recoverState() error {
 
 // applyRecovered installs one recovered household. Replay is idempotent —
 // households replace whole — so a record captured by both a checkpoint and
-// the racing WAL segment converges to one state.
+// the racing WAL segment converges to one state. With incremental
+// maintenance on, replay goes through the same fold path as live ingest, so
+// recovery rebuilds the live aggregates in lockstep with the records: a
+// restarted server holds exactly the incremental state a never-crashed one
+// would (the boot-time self-check in Open proves it against a batch
+// recompute).
 func (s *Server) applyRecovered(hh *inspector.Household) {
-	sh := s.shardFor(hh.ID)
-	sh.mu.Lock()
-	sh.household(hh.ID).inspector = hh
-	sh.version++
-	sh.mu.Unlock()
+	if s.incremental() {
+		s.foldHousehold(hh)
+		return
+	}
+	s.installRecord(hh)
 }
 
 // walAppend logs one ingest batch, one record per household, before the

@@ -98,6 +98,19 @@ type Config struct {
 	// them — the recovery tests compare boot-from-checkpoint against
 	// boot-from-full-WAL with it.
 	RetainWAL bool
+	// DisableIncremental turns off the live per-shard aggregates: ingest
+	// stops folding household contributions at write time and stale shard
+	// partials are batch-recomputed on read (the pre-incremental behavior,
+	// kept as the cold path and as bench7's comparison baseline). Default
+	// is incremental maintenance on.
+	DisableIncremental bool
+	// SelfCheckEvery, when > 0, shadow-recomputes every shard's batch
+	// partials after that many folded households and byte-compares the
+	// rendering against the live incremental aggregates, counting under
+	// serve_selfcheck{result=ok|mismatch}; durable boots also run one check
+	// right after recovery. 0 disables the periodic check (tests and the
+	// property suite call SelfCheck directly).
+	SelfCheckEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +152,10 @@ type householdState struct {
 	sources     map[string]bool
 	exposed     int // exposure cells filled across all captures (latest union)
 	inspector   *inspector.Household
+	// contribHash is the wire content hash of the installed inspector
+	// record — the idempotence key for incremental refolds (foldHousehold).
+	// Zero when no record is installed or incremental maintenance is off.
+	contribHash [sha256.Size]byte
 }
 
 // job is one queued upload. The body is the still-unread request stream:
@@ -254,6 +271,11 @@ type Server struct {
 	walSince  atomic.Int64
 	closeOnce sync.Once
 
+	// Self-check (selfcheck.go). selfMu serializes shadow-batch runs;
+	// foldsSince counts folded households since the last one.
+	selfMu     sync.Mutex
+	foldsSince atomic.Int64
+
 	// spans/flight are the request-tracing surface; both nil when
 	// Config.DisableTracing is set (every call through them no-ops).
 	spans  *obs.SpanTracer
@@ -284,9 +306,13 @@ var uploadStages = []string{
 // usually far under 1ms.
 var stageBounds = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
 
+// fleetEntry is one memoized merged-artifact body. Sharded artifacts label
+// it with the per-shard version vector the building sweep observed
+// (shardVers); full-snapshot artifacts label it with the fleet version.
 type fleetEntry struct {
-	version uint64
-	body    []byte
+	version   uint64
+	shardVers []uint64
+	body      []byte
 }
 
 // New builds an in-memory server and starts its worker pool. For durable
@@ -606,6 +632,7 @@ func (s *Server) processInspector(j *job) jobResult {
 	} else {
 		body = s.ingest(hhs)
 	}
+	s.maybeSelfCheck()
 	aspan.End()
 	j.stats.Analysis = time.Since(aStart)
 	s.stageObserve("analysis", j.stats.Analysis)
@@ -698,20 +725,37 @@ func (s *Server) analyzeCapture(household string, records []pcap.Record) []byte 
 	return mustJSON(rep)
 }
 
-// ingest replaces the uploaded households' crowdsourced records — bumping
-// only the touched shards' versions, so every other shard's cached partial
-// stays warm — and invalidates the merged-artifact memo via fleetVersion.
+// incremental reports whether the shards maintain live merged aggregates
+// (the default; Config.DisableIncremental selects the batch-recompute read
+// path instead).
+func (s *Server) incremental() bool { return !s.cfg.DisableIncremental }
+
+// ingest installs the uploaded households' crowdsourced records. With
+// incremental maintenance on, each install folds the household's delta into
+// its shard's live aggregates — O(one household), never O(shard) — and an
+// unchanged re-upload is skipped entirely (no version bump, warm caches stay
+// warm). Only touched shards' versions move, and the fleet version moves
+// only if something actually changed.
 func (s *Server) ingest(hhs []*inspector.Household) []byte {
-	devices := 0
+	devices, folded := 0, 0
 	for _, hh := range hhs {
-		sh := s.shardFor(hh.ID)
-		sh.mu.Lock()
-		sh.household(hh.ID).inspector = hh
-		sh.version++
-		sh.mu.Unlock()
 		devices += len(hh.Devices)
+		if !s.incremental() {
+			s.installRecord(hh)
+			folded++
+			continue
+		}
+		if s.foldHousehold(hh) {
+			folded++
+			s.reg.Counter("serve_refold", "result", "folded").Inc()
+		} else {
+			s.reg.Counter("serve_refold", "result", "skipped").Inc()
+		}
 	}
-	s.fleetVersion.Add(1)
+	if folded > 0 {
+		s.fleetVersion.Add(1)
+		s.foldsSince.Add(int64(folded))
+	}
 	ids := make([]string, len(hhs))
 	for i, hh := range hhs {
 		ids[i] = hh.ID
@@ -721,6 +765,77 @@ func (s *Server) ingest(hhs []*inspector.Household) []byte {
 		Households []string `json:"households"`
 		Devices    int      `json:"devices"`
 	}{ids, devices})
+}
+
+// installRecord replaces a household's crowdsourced record without touching
+// live aggregates — the write path when incremental maintenance is off.
+func (s *Server) installRecord(hh *inspector.Household) {
+	sh := s.shardFor(hh.ID)
+	sh.mu.Lock()
+	st := sh.household(hh.ID)
+	if st.inspector == nil {
+		sh.inspectorN++
+	}
+	st.inspector = hh
+	sh.version++
+	sh.mu.Unlock()
+}
+
+// foldHousehold installs hh as the household's record and folds the delta
+// into the shard's live aggregates: the previously installed record's
+// singleton partials are retracted and the new ones folded in. The expensive
+// parts — content hash and the two HouseholdPartialOf extractions — run
+// outside the shard lock; installed records are immutable, so the previous
+// contribution can be recomputed from the old pointer instead of stored
+// (which would roughly double per-household memory for the fingerprint
+// multisets). Retraction is only valid while that exact record is still
+// installed, so the fold re-checks under the lock and retries on a
+// concurrent replacement of the same household.
+//
+// Returns false when hh's content hash matches the installed record: the
+// refold is idempotent — no retract, no fold, no version bump.
+func (s *Server) foldHousehold(hh *inspector.Household) bool {
+	sh := s.shardFor(hh.ID)
+	hash := hh.ContentHash()
+	sh.mu.Lock()
+	st := sh.household(hh.ID)
+	if st.inspector != nil && st.contribHash == hash {
+		sh.mu.Unlock()
+		return false
+	}
+	prev := st.inspector
+	sh.mu.Unlock()
+
+	contrib := analysis.HouseholdPartialOf(hh)
+	for {
+		var retract *analysis.HouseholdPartial
+		if prev != nil {
+			retract = analysis.HouseholdPartialOf(prev)
+		}
+		sh.mu.Lock()
+		st := sh.household(hh.ID)
+		if st.inspector != nil && st.contribHash == hash {
+			sh.mu.Unlock()
+			return false
+		}
+		if st.inspector != prev {
+			// A concurrent upload replaced the record since the snapshot;
+			// recompute the retraction against the new installee.
+			prev = st.inspector
+			sh.mu.Unlock()
+			continue
+		}
+		if prev == nil {
+			sh.inspectorN++
+		} else {
+			sh.subContrib(retract)
+		}
+		sh.addContrib(contrib)
+		st.inspector, st.contribHash = hh, hash
+		sh.version++
+		sh.mu.Unlock()
+		return true
+	}
 }
 
 // cacheGet looks a digest up in the bounded result cache.
@@ -796,8 +911,8 @@ func (s *Server) RunFleetArtifact(ctx context.Context, name string) ([]byte, err
 	if a.Needs&^iotlan.NeedInspector != 0 {
 		return nil, fmt.Errorf("%w: artifact %q needs pipelines %s", ErrOfflineArtifact, a.Name, a.Needs)
 	}
-	if compute, ok := shardedArtifacts[a.Name]; ok {
-		return s.runShardedArtifact(ctx, a, compute)
+	if sa, ok := shardedArtifacts[a.Name]; ok {
+		return s.runShardedArtifact(ctx, a, sa)
 	}
 	version, ds := s.fleetSnapshot()
 	s.mu.Lock()
