@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	iotlab [-seed N] [-idle 1h] [-interactions 100] [-out pcaps/]
+//	iotlab [-seed N] [-idle 1h] [-interactions 100] [-residents N -days D]
+//	       [-out pcaps/]
+//
+// -residents N replaces the idle + scripted-interaction workload with N
+// persona-driven residents over -days simulated days (see
+// internal/resident); -schedule prints the compiled event schedule.
 package main
 
 import (
@@ -15,20 +20,27 @@ import (
 	"time"
 
 	"iotlan"
+	"iotlan/internal/resident"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	idle := flag.Duration("idle", time.Hour, "idle capture window")
 	interactions := flag.Int("interactions", 100, "scripted interactions after the idle window")
+	residents := flag.Int("residents", 0, "persona-driven residents (0 = classic workload)")
+	days := flag.Int("days", 3, "simulated days when -residents is set")
+	schedule := flag.Bool("schedule", false, "print the compiled resident schedule")
 	out := flag.String("out", "", "directory for per-device pcap files (empty = skip)")
 	flag.Parse()
 
-	s := iotlan.New(*seed)
+	s := iotlan.New(*seed, iotlan.WithResidents(resident.Household(*residents, *days)))
 	s.IdleDuration = *idle
 	s.Interactions = *interactions
 	start := time.Now()
 	s.RunPassive()
+	if *schedule && s.Lab.Residents != nil {
+		fmt.Print(s.Lab.Residents.Render())
+	}
 
 	fmt.Printf("lab: %s (wall %s)\n\n", s.Lab.Summary(), time.Since(start).Truncate(time.Millisecond))
 	fmt.Printf("%-24s %-16s %s\n", "device", "ip", "mac")

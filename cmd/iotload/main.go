@@ -16,6 +16,12 @@
 // fraction of the upload set after the originals, exercising the server's
 // content-hash cache; the bench record counts the observed hits.
 //
+// -diurnal shapes each synthetic capture's frame timestamps by the resident
+// layer's typical hour-of-day histogram (resident.TypicalHours) instead of
+// the flat one-frame-burst-per-second layout, so uploaded captures carry the
+// diurnal structure of a lived-in household. Off by default so classic bench
+// checksums are unchanged.
+//
 // After the load, iotload scrapes GET /metrics and strict-parses the
 // Prometheus exposition (the same parser the obs golden tests use). A
 // malformed page or empty per-stage histograms fail the run — observability
@@ -42,7 +48,7 @@
 // Usage:
 //
 //	iotload [-households 200] [-concurrency 16] [-seed 1]
-//	        [-mode mixed|inspector|capture] [-dup-frac 0.25]
+//	        [-mode mixed|inspector|capture] [-dup-frac 0.25] [-diurnal]
 //	        [-addr host:port] [-queue 64] [-workers N] [-shards N]
 //	        [-data-dir DIR] [-checkpoint-every 4096] [-stream]
 //	        [-sustained] [-readers 2] [-rounds 5]
@@ -69,6 +75,7 @@ import (
 	"iotlan/internal/inspector"
 	"iotlan/internal/obs"
 	"iotlan/internal/pcap"
+	"iotlan/internal/resident"
 	"iotlan/internal/serve"
 )
 
@@ -135,6 +142,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "self-hosted server durable state dir (empty = in-memory)")
 	checkpointEvery := flag.Int("checkpoint-every", 4096, "self-hosted server checkpoint cadence in WAL records")
 	stream := flag.Bool("stream", false, "generate each household on demand instead of materializing the corpus (inspector mode only)")
+	diurnal := flag.Bool("diurnal", false, "spread synthetic capture frames over a resident-shaped hour-of-day distribution (capture/mixed modes)")
 	sustained := flag.Bool("sustained", false, "BENCH_7 mode: sustained mixed read/write load, incremental vs recompute read path (self-hosted only)")
 	readers := flag.Int("readers", 2, "concurrent artifact readers in -sustained mode")
 	rounds := flag.Int("rounds", 5, "re-upload rounds in -sustained mode (each round changes every household's contents)")
@@ -223,6 +231,10 @@ func main() {
 	} else {
 		// Build the upload set up front so the timed region is pure load.
 		ds := inspector.Generate(*seed, *households)
+		var hours [24]int
+		if *diurnal {
+			hours = resident.TypicalHours(*seed)
+		}
 		var uploads []upload
 		for _, h := range ds.Households {
 			if *mode == "inspector" || *mode == "mixed" {
@@ -234,7 +246,7 @@ func main() {
 			}
 			if *mode == "capture" || *mode == "mixed" {
 				var buf bytes.Buffer
-				if err := pcap.WriteFile(&buf, inspector.SyntheticCapture(h)); err != nil {
+				if err := pcap.WriteFile(&buf, inspector.SyntheticCaptureHours(h, hours)); err != nil {
 					fatal(err)
 				}
 				uploads = append(uploads, upload{

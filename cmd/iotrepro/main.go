@@ -4,8 +4,9 @@
 // Usage:
 //
 //	iotrepro [-seed N] [-idle 45m] [-interactions 120] [-households 3860]
-//	         [-apps 0] [-workers 0] [-chaos PROFILE] [-artifact NAME] [-list]
-//	         [-pcap-dir DIR] [-metrics FILE] [-trace FILE] [-http ADDR]
+//	         [-apps 0] [-workers 0] [-chaos PROFILE] [-residents N -days D]
+//	         [-artifact NAME] [-list] [-pcap-dir DIR] [-metrics FILE]
+//	         [-trace FILE] [-http ADDR]
 //
 // -list prints the artifact registry (name, kind, paper reference, needed
 // pipelines) and exits. -artifact runs a single registered artifact by name
@@ -17,6 +18,13 @@
 // partition, churn, degraded — "off" disables). The same (seed, profile)
 // pair produces byte-identical output on any worker count; the "chaos"
 // artifact summarises what was injected.
+//
+// -residents N drives the lab with N persona-compiled household residents
+// for -days simulated days instead of the fixed-pace interaction loop:
+// diurnal device interactions, app foreground sessions, occupancy sensor
+// chatter, and longitudinal drift (devices added/retired, firmware
+// updates). The "diurnal" artifact renders the resulting hour-of-day
+// structure. Composes with -chaos; same seed ⇒ byte-identical run.
 //
 // -metrics writes the telemetry report (deterministic metrics snapshot +
 // wall-clock phase profile) as JSON. -trace streams the virtual-time event
@@ -40,6 +48,7 @@ import (
 	"iotlan"
 	"iotlan/internal/chaos"
 	"iotlan/internal/obs"
+	"iotlan/internal/resident"
 	"iotlan/internal/serve"
 )
 
@@ -52,6 +61,10 @@ func main() {
 	workers := flag.Int("workers", 0, "analysis worker count (0 = one per CPU; never changes output)")
 	chaosName := flag.String("chaos", "off",
 		"fault-injection profile: "+strings.Join(chaos.ProfileNames(), ", ")+", or off")
+	residents := flag.Int("residents", 0,
+		"persona-driven residents (0 = classic scripted workload; personas cycle "+
+			strings.Join(resident.PersonaNames(), ", ")+")")
+	days := flag.Int("days", 3, "simulated days when -residents is set")
 	artifact := flag.String("artifact", "", "run a single registered artifact by name (see -list)")
 	list := flag.Bool("list", false, "print the artifact registry and exit")
 	only := flag.String("only", "", "deprecated alias for -artifact")
@@ -86,6 +99,7 @@ func main() {
 		iotlan.WithApps(*apps),
 		iotlan.WithWorkers(*workers),
 		iotlan.WithChaos(plan),
+		iotlan.WithResidents(resident.Household(*residents, *days)),
 	)
 
 	var traceOut *os.File

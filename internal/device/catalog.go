@@ -9,6 +9,25 @@ import (
 	"iotlan/internal/tlsx"
 )
 
+// Subset returns fresh profiles for the named catalog devices, in the given
+// order. It panics on an unknown name — subset labs are built from literal
+// name lists, so a typo is a programming error.
+func Subset(names ...string) []*Profile {
+	byName := make(map[string]*Profile)
+	for _, p := range Catalog() {
+		byName[p.Name] = p
+	}
+	out := make([]*Profile, len(names))
+	for i, name := range names {
+		p, ok := byName[name]
+		if !ok {
+			panic(fmt.Sprintf("device: no catalog profile named %q", name))
+		}
+		out[i] = p
+	}
+	return out
+}
+
 // Catalog returns the full MonIoTr testbed inventory: 93 devices across
 // 78 unique vendor/model combinations, grouped per Table 3, with behaviour
 // profiles encoding the protocol observations of §4 and §5.

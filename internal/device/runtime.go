@@ -49,6 +49,16 @@ type Device struct {
 	Started bool
 	// crashed marks the device as down (chaos churn); see Crash/Restart.
 	crashed bool
+	// Retired marks the device as permanently removed (resident drift);
+	// unlike a crash it never restarts. See Retire.
+	Retired bool
+	// FirmwareRev counts applied firmware updates (0 = factory image); it
+	// shows in the SSDP Server banner's advertised version.
+	FirmwareRev int
+
+	// tuyaDev is the serving Tuya endpoint, kept so a firmware update can
+	// flip its wire behaviour (plaintext 3.1 → encrypted 3.3) mid-run.
+	tuyaDev *tuya.Device
 
 	// dhcpClient is the device's DHCP client, kept so a restart can re-run
 	// the lease exchange.
@@ -213,12 +223,66 @@ func (d *Device) Crash() bool {
 	return true
 }
 
+// Retire permanently removes the device from the LAN — the household threw
+// it out or it bricked. It detaches through the same path as a crash (so
+// in-flight frames addressed to it land in detached-drop accounting), but a
+// retired device never restarts. Reports whether the device was up when
+// retired.
+func (d *Device) Retire() bool {
+	if d.Retired {
+		return false
+	}
+	wasUp := d.Crash()
+	d.Retired = true
+	return wasUp
+}
+
+// UpdateFirmware applies a firmware update: the revision counter bumps (the
+// SSDP Server banner advertises the new build) and protocol behaviour flags
+// flip the way vendor updates really change devices — a plaintext Tuya 3.1
+// build moves to the encrypted 3.3 protocol, and an UPnP/1.0 stack rebases
+// onto 1.1. Returns the behaviour changes applied, for tracing.
+func (d *Device) UpdateFirmware() []string {
+	d.FirmwareRev++
+	p := d.Profile
+	changes := []string{fmt.Sprintf("firmware rev %d", d.FirmwareRev)}
+	if p.Tuya != nil && p.Tuya.Plaintext {
+		p.Tuya.Plaintext = false
+		if d.tuyaDev != nil {
+			d.tuyaDev.Plaintext = false
+			d.tuyaDev.Beacon.Version = "3.3"
+			d.tuyaDev.Beacon.Encrypt = true
+		}
+		changes = append(changes, "tuya: plaintext 3.1 -> encrypted 3.3")
+	}
+	if p.SSDP != nil && p.SSDP.UPnPVersion == "1.0" {
+		p.SSDP.UPnPVersion = "1.1"
+		changes = append(changes, "ssdp: UPnP/1.0 -> UPnP/1.1")
+	}
+	// Re-render the default Server banners so announcements carry the new
+	// UPnP version and firmware build (profile-pinned banners stay).
+	if d.ssdpResp != nil && p.SSDP != nil {
+		upnp := p.SSDP.UPnPVersion
+		if upnp == "" {
+			upnp = "1.1"
+		}
+		for i := range d.ssdpResp.Ads {
+			if i < len(p.SSDP.Ads) && p.SSDP.Ads[i].Server == "" {
+				d.ssdpResp.Ads[i].Server = fmt.Sprintf("Linux/4.9 UPnP/%s %s/%s",
+					upnp, sanitize(p.Vendor), firmwareFor(p, d.FirmwareRev))
+			}
+		}
+	}
+	return changes
+}
+
 // Restart powers a crashed device back on: it rejoins the switch and re-runs
 // its DHCP lease exchange, like a real device rebooting mid-capture. Service
 // timers from the original Start are still scheduled, so behaviour resumes
-// once the NIC is up; services are not registered twice.
+// once the NIC is up; services are not registered twice. Retired devices
+// never come back.
 func (d *Device) Restart() {
-	if !d.crashed {
+	if !d.crashed || d.Retired {
 		return
 	}
 	d.crashed = false
@@ -244,7 +308,7 @@ func (d *Device) onAddressed() {
 		d.startTPLink()
 	}
 	if p.Tuya != nil && p.Tuya.Serve {
-		dev := &tuya.Device{Host: d.Host, Plaintext: p.Tuya.Plaintext, Beacon: tuya.Beacon{
+		d.tuyaDev = &tuya.Device{Host: d.Host, Plaintext: p.Tuya.Plaintext, Beacon: tuya.Beacon{
 			GWID:       d.expand("{serial}{tail}"),
 			ProductKey: strings.ToLower(d.Serial),
 			Version:    map[bool]string{true: "3.1", false: "3.3"}[p.Tuya.Plaintext],
@@ -256,7 +320,7 @@ func (d *Device) onAddressed() {
 		}
 		sched.EveryTagged("device", 2*time.Second, iv, iv/10, func() {
 			d.count("tuya", 1)
-			dev.Broadcast()
+			d.tuyaDev.Broadcast()
 		})
 	}
 	if p.CoAP {
@@ -387,7 +451,7 @@ func (d *Device) startSSDP() {
 			ad.Location = fmt.Sprintf("http://%s:%d/description.xml", d.IP(), d.descPort())
 		}
 		if ad.Server == "" {
-			ad.Server = fmt.Sprintf("Linux/4.9 UPnP/%s %s/%s", upnp, sanitize(p.Vendor), firmwareFor(p))
+			ad.Server = fmt.Sprintf("Linux/4.9 UPnP/%s %s/%s", upnp, sanitize(p.Vendor), firmwareFor(p, d.FirmwareRev))
 		}
 		ads[i] = ad
 	}
@@ -471,9 +535,11 @@ func (d *Device) descPort() uint16 {
 	return 49152
 }
 
-func firmwareFor(p *Profile) string {
+// firmwareFor derives the advertised firmware build from the model, with
+// rev bumping the patch component per applied update.
+func firmwareFor(p *Profile, rev int) string {
 	sum := md5.Sum([]byte(p.Model))
-	return fmt.Sprintf("%d.%d.%d", sum[0]%9+1, sum[1]%20, sum[2]%100)
+	return fmt.Sprintf("%d.%d.%d", sum[0]%9+1, sum[1]%20, int(sum[2]%100)+rev)
 }
 
 func (d *Device) startTPLink() {

@@ -31,7 +31,7 @@ type Server struct {
 	// stable IPs so multi-day captures stay comparable).
 	Reserved map[netx.MAC]netip.Addr
 
-	cDiscover, cRequest, cLeases *obs.Counter
+	cDiscover, cRequest, cLeases, cReleases *obs.Counter
 }
 
 // NewServer starts a DHCP server on the router host (UDP 67).
@@ -46,9 +46,26 @@ func NewServer(h *stack.Host) *Server {
 		cDiscover: reg.Counter("dhcp_messages", "type", "discover"),
 		cRequest:  reg.Counter("dhcp_messages", "type", "request"),
 		cLeases:   reg.Counter("dhcp_leases"),
+		cReleases: reg.Counter("dhcp_messages", "type", "release"),
 	}
 	h.OpenUDP(67, s.onDatagram)
 	return s
+}
+
+// Release drops the lease for hw — the administrative path for retiring a
+// device whose client will never send a DHCPRELEASE on its own (it is
+// powered off for good). Reports whether a lease existed. Any address
+// reservation stays, so a device re-added later keeps its stable IP.
+func (s *Server) Release(hw netx.MAC) bool {
+	if _, ok := s.Leases[hw]; !ok {
+		return false
+	}
+	delete(s.Leases, hw)
+	s.cReleases.Inc()
+	if s.Host.Sched.Tracing() {
+		s.Host.Sched.TraceEvent("dhcp", "release", "mac", hw.String())
+	}
+	return true
 }
 
 func (s *Server) addrFor(hw netx.MAC) netip.Addr {

@@ -1,0 +1,80 @@
+package inspector_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"iotlan/internal/inspector"
+)
+
+// TestSyntheticCaptureHoursZeroHistogram: the zero histogram is the classic
+// flat layout — byte-for-byte, timestamp-for-timestamp identical to
+// SyntheticCapture, so existing callers and bench checksums see no change.
+func TestSyntheticCaptureHoursZeroHistogram(t *testing.T) {
+	ds := inspector.Generate(11, 8)
+	for _, h := range ds.Households {
+		flat := inspector.SyntheticCapture(h)
+		zero := inspector.SyntheticCaptureHours(h, [24]int{})
+		if len(flat) != len(zero) {
+			t.Fatalf("household %s: %d frames flat vs %d with zero histogram", h.ID, len(flat), len(zero))
+		}
+		for i := range flat {
+			if !flat[i].Time.Equal(zero[i].Time) || !bytes.Equal(flat[i].Data, zero[i].Data) {
+				t.Fatalf("household %s: frame %d differs under zero histogram", h.ID, i)
+			}
+		}
+	}
+}
+
+// TestSyntheticCaptureHoursDiurnal: frames land only in hours the histogram
+// weights, come out time-sorted, are deterministic across calls, and carry
+// the same payload bytes as the flat layout (only the timing moves).
+func TestSyntheticCaptureHoursDiurnal(t *testing.T) {
+	var hours [24]int
+	hours[8], hours[12], hours[19], hours[20] = 2, 1, 4, 3
+	allowed := map[int]bool{8: true, 12: true, 19: true, 20: true}
+
+	ds := inspector.Generate(5, 20)
+	seenHours := map[int]bool{}
+	for _, h := range ds.Households {
+		a := inspector.SyntheticCaptureHours(h, hours)
+		b := inspector.SyntheticCaptureHours(h, hours)
+		if len(a) != len(b) {
+			t.Fatalf("household %s: nondeterministic frame count", h.ID)
+		}
+		var prev time.Time
+		for i := range a {
+			if !a[i].Time.Equal(b[i].Time) || !bytes.Equal(a[i].Data, b[i].Data) {
+				t.Fatalf("household %s: frame %d nondeterministic", h.ID, i)
+			}
+			if a[i].Time.Before(prev) {
+				t.Fatalf("household %s: frame %d out of time order", h.ID, i)
+			}
+			prev = a[i].Time
+			hr := a[i].Time.UTC().Hour()
+			if !allowed[hr] {
+				t.Fatalf("household %s: frame %d at hour %d, outside histogram support", h.ID, i, hr)
+			}
+			seenHours[hr] = true
+		}
+
+		flat := inspector.SyntheticCapture(h)
+		if len(flat) != len(a) {
+			t.Fatalf("household %s: diurnal layout changed frame count", h.ID)
+		}
+		flatPayloads := map[string]int{}
+		for _, r := range flat {
+			flatPayloads[string(r.Data)]++
+		}
+		for _, r := range a {
+			if flatPayloads[string(r.Data)] == 0 {
+				t.Fatalf("household %s: diurnal layout changed frame bytes", h.ID)
+			}
+			flatPayloads[string(r.Data)]--
+		}
+	}
+	if len(seenHours) < 2 {
+		t.Fatalf("all frames collapsed into %d hour(s); want spread across histogram", len(seenHours))
+	}
+}

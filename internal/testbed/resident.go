@@ -1,0 +1,174 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"iotlan/internal/device"
+	"iotlan/internal/httpx"
+	"iotlan/internal/mdns"
+	"iotlan/internal/netx"
+	"iotlan/internal/obs"
+	"iotlan/internal/resident"
+	"iotlan/internal/sim"
+	"iotlan/internal/ssdp"
+	"iotlan/internal/stack"
+	"iotlan/internal/tplink"
+)
+
+// sensorPort is where occupancy sensors report motion/presence to the hub —
+// the SmartThings-style local eventing port.
+const sensorPort = 39500
+
+// residentRun is the per-lab executor state for a compiled schedule.
+type residentRun struct {
+	lab    *Lab
+	phones map[string]*stack.Host
+	events map[resident.EventKind]*obs.Counter
+	// seq is the lab-wide interaction sequence, round-robining device
+	// participation exactly like the classic Interact loop's index.
+	seq int
+}
+
+// startResidents materializes the compiled schedule on the virtual clock:
+// one phone host per resident, then one sim timer per event. Everything
+// derives from the already-compiled schedule, so execution order (and the
+// resulting capture) is a pure function of the seed.
+func (l *Lab) startResidents() {
+	r := &residentRun{
+		lab:    l,
+		phones: make(map[string]*stack.Host),
+		events: make(map[resident.EventKind]*obs.Counter),
+	}
+	reg := l.Sched.Telemetry.Registry
+	for _, k := range []resident.EventKind{
+		resident.EventInteract, resident.EventApp, resident.EventSensor,
+		resident.EventRetire, resident.EventAdd, resident.EventFirmware,
+	} {
+		r.events[k] = reg.Counter("resident_events", "kind", k.String())
+	}
+	for _, ev := range l.Residents.Events {
+		if ev.Resident != "" {
+			if _, ok := r.phones[ev.Resident]; !ok {
+				// Phones live at .150+ — clear of devices (.10+), the app
+				// package's phone (.240), scanners (.250+), honeypots (.230).
+				// First-event order over a compiled schedule is deterministic.
+				idx := len(r.phones)
+				mac := netx.MAC{0x02, 0x9e, 0x50, 0x00, 0x00, byte(idx)}
+				r.phones[ev.Resident] = l.AddHost(byte(150+idx), mac)
+			}
+		}
+		ev := ev
+		l.Sched.AtTagged("resident", sim.Epoch.Add(ev.At), func() { r.exec(ev) })
+	}
+}
+
+func (r *residentRun) exec(ev resident.Event) {
+	l := r.lab
+	r.events[ev.Kind].Inc()
+	if l.Sched.Tracing() {
+		l.Sched.TraceEvent("resident", ev.Kind.String(),
+			"resident", ev.Resident, "device", ev.Device, "arg", fmt.Sprint(ev.Arg))
+	}
+	switch ev.Kind {
+	case resident.EventInteract:
+		l.InteractOnce(InteractionKind(ev.Arg%NumInteractionKinds), r.seq)
+		r.seq++
+	case resident.EventApp:
+		r.appSession(ev)
+	case resident.EventSensor:
+		r.sensorEvent(ev)
+	case resident.EventRetire:
+		l.RetireDevice(ev.Device)
+	case resident.EventAdd:
+		if d := l.Device(ev.Device); d != nil {
+			d.Start()
+		}
+	case resident.EventFirmware:
+		r.firmwareUpdate(ev.Device)
+	}
+}
+
+// appSession runs one companion-app foreground session from the resident's
+// phone: the burst of local discovery (mDNS, SSDP, TP-Link scan) and API
+// traffic a phone emits when an IoT app comes to the foreground (§5.1).
+// The Arg variant picks which app family the resident opened.
+func (r *residentRun) appSession(ev resident.Event) {
+	h, ok := r.phones[ev.Resident]
+	if !ok {
+		return
+	}
+	l := r.lab
+	switch ev.Arg % 3 {
+	case 0: // casting app: mDNS browse + a control-API poke
+		mdns.Query(h, "_googlecast._tcp.local", false)
+		mdns.Query(h, "_hap._tcp.local", false)
+		if hue := l.Device("hue-hub"); hue != nil && hue.IP().IsValid() && !hue.Retired {
+			httpx.Get(h, hue.IP(), 80, "/api/config", nil, nil)
+		}
+	case 1: // smart-plug app: SSDP root-device sweep + TP-Link discovery
+		ssdp.Search(h, ssdp.TargetRootDevice, nil)
+		tplink.Discover(h, nil)
+	case 2: // everything-app: full local sweep
+		mdns.Query(h, "_services._dns-sd._udp.local", false)
+		ssdp.Search(h, ssdp.TargetAll, nil)
+		tplink.Discover(h, nil)
+	}
+}
+
+// sensorEvent emits one occupancy-correlated report: a motion/presence
+// datagram from a sensor-class device to the router, the local eventing
+// chatter that tracks when somebody is actually in the room.
+func (r *residentRun) sensorEvent(ev resident.Event) {
+	sensors := r.sensors()
+	if len(sensors) == 0 {
+		return
+	}
+	d := sensors[ev.Arg%len(sensors)]
+	if !d.Started || d.Retired || !d.IP().IsValid() {
+		return // sensor crashed/retired/not yet joined — occupancy unobserved
+	}
+	payload := fmt.Sprintf(`{"event":"motion","device":"%s","seq":%d}`, d.Profile.Name, ev.Arg)
+	d.Host.SendUDP(sensorPort, RouterIP, sensorPort, []byte(payload))
+}
+
+// sensors lists the devices that report occupancy: cameras and
+// home-automation sensors/hubs, in catalog order.
+func (r *residentRun) sensors() []*device.Device {
+	var out []*device.Device
+	for _, d := range r.lab.Devices {
+		if d.Profile.Category == device.Surveillance || d.Profile.Category == device.HomeAutomation {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// firmwareUpdate applies the update and reboots the device the way real
+// updates do: flags flip, then the device drops off the LAN for ~45 s and
+// rejoins with a fresh DHCP exchange and the new SSDP banner.
+func (r *residentRun) firmwareUpdate(name string) {
+	l := r.lab
+	d := l.Device(name)
+	if d == nil || d.Retired {
+		return
+	}
+	d.UpdateFirmware()
+	if d.Crash() {
+		l.Sched.AfterTagged("resident", 45*time.Second, d.Restart)
+	}
+}
+
+// RetireDevice permanently removes a device: it detaches through the crash
+// path (in-flight frames to it land in reason=detached drop accounting) and
+// the router releases its DHCP lease. Reports whether the device existed
+// and was up when retired.
+func (l *Lab) RetireDevice(name string) bool {
+	d := l.Device(name)
+	if d == nil {
+		return false
+	}
+	wasUp := d.Retire()
+	l.DHCP.Release(d.MAC())
+	return wasUp
+}

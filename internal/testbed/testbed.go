@@ -16,6 +16,7 @@ import (
 	"iotlan/internal/netx"
 	"iotlan/internal/obs"
 	"iotlan/internal/pcap"
+	"iotlan/internal/resident"
 	"iotlan/internal/sim"
 	"iotlan/internal/stack"
 	"iotlan/internal/tplink"
@@ -37,6 +38,11 @@ type Lab struct {
 	// Chaos is the fault-injection engine; present even when the plan is
 	// disabled so callers can read Faults() unconditionally.
 	Chaos *chaos.Engine
+
+	// Residents is the compiled household schedule, nil unless
+	// WithResidents enabled one. Start schedules its events on the virtual
+	// clock; see resident.go for the executor.
+	Residents *resident.Schedule
 
 	byName map[string]*device.Device
 	// Interactions counts scripted interaction events (§3.1's 7,191).
@@ -69,12 +75,22 @@ func (l *Lab) VNet(h *stack.Host) *vnet.Net { return vnet.New(l.Pump(), h) }
 type Option func(*labConfig)
 
 type labConfig struct {
-	plan chaos.Plan
+	plan      chaos.Plan
+	residents resident.Plan
 }
 
 // WithChaos enables deterministic fault injection under the given plan.
 func WithChaos(plan chaos.Plan) Option {
 	return func(c *labConfig) { c.plan = plan }
+}
+
+// WithResidents compiles and executes a persona-driven household schedule:
+// diurnal device interactions, app sessions, occupancy-correlated sensor
+// chatter, and longitudinal drift (devices added/retired, firmware
+// updates). NewWith panics on an invalid plan (unknown persona name) —
+// validate names against resident.PersonaNames() first.
+func WithResidents(plan resident.Plan) Option {
+	return func(c *labConfig) { c.residents = plan }
 }
 
 // New builds a lab with the full catalog on a deterministic seed.
@@ -132,6 +148,18 @@ func NewWith(seed int64, profiles []*device.Profile, opts ...Option) *Lab {
 		lab.byName[p.Name] = d
 	}
 	lab.wirePeers()
+	if cfg.residents.Enabled() {
+		names := make([]string, len(profiles))
+		for i, p := range profiles {
+			names[i] = p.Name
+		}
+		sr, err := resident.Compile(seed, cfg.residents,
+			resident.World{Devices: names, InteractionKinds: NumInteractionKinds})
+		if err != nil {
+			panic(fmt.Sprintf("testbed: %v", err))
+		}
+		lab.Residents = sr
+	}
 	return lab
 }
 
@@ -163,6 +191,11 @@ func (l *Lab) wirePeers() {
 func (l *Lab) Start() {
 	for i, d := range l.Devices {
 		d := d
+		// Drift add-targets were "bought" mid-run: the resident schedule
+		// first-joins them at their EventAdd time instead of boot.
+		if l.Residents != nil && l.Residents.IsAdded(d.Profile.Name) {
+			continue
+		}
 		l.Sched.AfterTagged("testbed", time.Duration(i)*300*time.Millisecond, d.Start)
 	}
 	l.Sched.AfterTagged("testbed", time.Minute, l.schedulePlatformTraffic)
@@ -172,6 +205,9 @@ func (l *Lab) Start() {
 			devs[i] = d
 		}
 		l.Chaos.StartChurn(devs)
+	}
+	if l.Residents != nil {
+		l.startResidents()
 	}
 }
 
@@ -229,47 +265,81 @@ const (
 	InteractMultiRoomAudio
 )
 
+// NumInteractionKinds is the size of the scripted-stimulus repertoire.
+const NumInteractionKinds = 4
+
+// InteractOpts parameterizes the scripted interaction loop.
+type InteractOpts struct {
+	// Pace is the virtual time advanced after each interaction; <= 0 keeps
+	// the classic ~5 s pacing of the lab's paced experiments (§3.1).
+	Pace time.Duration
+}
+
 // Interact performs n scripted interactions round-robin over the kinds and
 // devices, advancing the clock ~5 s per interaction like the lab's paced
 // experiments.
-func (l *Lab) Interact(n int) {
+func (l *Lab) Interact(n int) { l.InteractWith(n, InteractOpts{}) }
+
+// InteractWith is Interact with configurable pacing.
+func (l *Lab) InteractWith(n int, opts InteractOpts) {
+	pace := opts.Pace
+	if pace <= 0 {
+		pace = 5 * time.Second
+	}
 	echos := l.platformMembers(device.PlatformAlexa)
 	googles := l.platformMembers(device.PlatformGoogleHome)
 	for i := 0; i < n; i++ {
-		kind := InteractionKind(i % 4)
-		switch kind {
-		case InteractAppControl:
-			// A companion app toggles the Hue hub over its HTTP API — here
-			// the router plays the phone's role to keep Interact
-			// self-contained; the app package models real phones.
-			if hue := l.Device("hue-hub"); hue != nil && hue.IP().IsValid() {
-				conn := l.Router.DialTCP(hue.IP(), 80)
-				conn.OnConnect = func(c *stack.TCPConn) {
-					c.Send([]byte("GET /api/config HTTP/1.1\r\nHost: hue\r\n\r\n"))
-				}
-				conn.OnData = func(c *stack.TCPConn, _ []byte) { c.Close() }
-			}
-		case InteractVoiceTPLink:
-			// "Alexa, turn on the plug": an Echo controls the TP-Link plug.
-			if len(echos) > 0 {
-				if plug := l.Device("tplink-plug"); plug != nil && plug.IP().IsValid() {
-					echo := echos[i%len(echos)]
-					tplink.Control(echo.Host, plug.IP(), i%2 == 0, nil)
-				}
-			}
-		case InteractVoiceCast:
-			// "Hey Google, play …": hub dials a Chromecast peer over TLS.
-			if len(googles) >= 2 {
-				googles[i%len(googles)].DialPeerTLS(googles[(i+1)%len(googles)])
-			}
-		case InteractMultiRoomAudio:
-			if len(echos) >= 2 {
-				echos[0].RTPSync(echos[1+i%(len(echos)-1)], 8)
-			}
-		}
+		l.interactAs(InteractionKind(i%NumInteractionKinds), i, echos, googles)
 		l.Interactions++
 		l.cInteractions.Inc()
-		l.Sched.RunFor(5 * time.Second)
+		l.Sched.RunFor(pace)
+	}
+}
+
+// InteractOnce performs a single scripted interaction without advancing the
+// clock — the resident scheduler's event-driven entry point. Platform
+// members are re-resolved per call, so devices that joined, crashed, or
+// retired since the last interaction are seen.
+func (l *Lab) InteractOnce(kind InteractionKind, i int) {
+	l.interactAs(kind, i,
+		l.platformMembers(device.PlatformAlexa),
+		l.platformMembers(device.PlatformGoogleHome))
+	l.Interactions++
+	l.cInteractions.Inc()
+}
+
+// interactAs performs one scripted stimulus of the given kind; i varies the
+// participating devices round-robin.
+func (l *Lab) interactAs(kind InteractionKind, i int, echos, googles []*device.Device) {
+	switch kind {
+	case InteractAppControl:
+		// A companion app toggles the Hue hub over its HTTP API — here
+		// the router plays the phone's role to keep Interact
+		// self-contained; the app package models real phones.
+		if hue := l.Device("hue-hub"); hue != nil && hue.IP().IsValid() {
+			conn := l.Router.DialTCP(hue.IP(), 80)
+			conn.OnConnect = func(c *stack.TCPConn) {
+				c.Send([]byte("GET /api/config HTTP/1.1\r\nHost: hue\r\n\r\n"))
+			}
+			conn.OnData = func(c *stack.TCPConn, _ []byte) { c.Close() }
+		}
+	case InteractVoiceTPLink:
+		// "Alexa, turn on the plug": an Echo controls the TP-Link plug.
+		if len(echos) > 0 {
+			if plug := l.Device("tplink-plug"); plug != nil && plug.IP().IsValid() {
+				echo := echos[i%len(echos)]
+				tplink.Control(echo.Host, plug.IP(), i%2 == 0, nil)
+			}
+		}
+	case InteractVoiceCast:
+		// "Hey Google, play …": hub dials a Chromecast peer over TLS.
+		if len(googles) >= 2 {
+			googles[i%len(googles)].DialPeerTLS(googles[(i+1)%len(googles)])
+		}
+	case InteractMultiRoomAudio:
+		if len(echos) >= 2 {
+			echos[0].RTPSync(echos[1+i%(len(echos)-1)], 8)
+		}
 	}
 }
 
@@ -306,6 +376,10 @@ func (l *Lab) Summary() string {
 		l.Sched.Now().Sub(sim.Epoch).Truncate(time.Second))
 	if l.Chaos.Plan.Enabled() {
 		s += fmt.Sprintf(" chaos=%s faults=%d", l.Chaos.Plan, l.Chaos.Faults())
+	}
+	if l.Residents != nil {
+		s += fmt.Sprintf(" residents=[%s] resident_events=%d",
+			l.Residents.Plan, reg.Total("resident_events"))
 	}
 	return s
 }

@@ -35,6 +35,7 @@ import (
 	"iotlan/internal/netx"
 	"iotlan/internal/obs"
 	"iotlan/internal/pcap"
+	"iotlan/internal/resident"
 	"iotlan/internal/scan"
 	"iotlan/internal/sim"
 	"iotlan/internal/testbed"
@@ -68,6 +69,17 @@ type Study struct {
 	// (see internal/chaos). The zero Plan injects nothing. For a fixed
 	// (Seed, ChaosPlan) pair outputs stay byte-identical across Workers.
 	ChaosPlan chaos.Plan
+	// ResidentPlan drives the lab with persona-compiled household schedules
+	// instead of the fixed-pace Interact loop (see internal/resident). When
+	// enabled, the passive window spans ResidentPlan.Duration() of virtual
+	// time and interactions arrive event-driven at diurnal times; the zero
+	// Plan keeps the classic idle + paced-interaction workload.
+	ResidentPlan resident.Plan
+
+	// labProfiles overrides the device catalog for the lab (subset labs keep
+	// multi-day resident tests inside the -race time budget). nil = full
+	// catalog.
+	labProfiles []*device.Profile
 
 	Lab       *testbed.Lab
 	Honeypot  *honeypot.Honeypot
@@ -139,6 +151,18 @@ func WithWorkers(n int) Option { return func(s *Study) { s.Workers = n } }
 // the named impairment profiles, or build a chaos.Plan directly).
 func WithChaos(plan chaos.Plan) Option { return func(s *Study) { s.ChaosPlan = plan } }
 
+// WithResidents drives the lab with a persona-compiled household schedule
+// (use resident.Household for a default mix, or build a resident.Plan
+// directly). Composes with WithChaos.
+func WithResidents(plan resident.Plan) Option { return func(s *Study) { s.ResidentPlan = plan } }
+
+// WithLabProfiles overrides the lab's device catalog (device.Subset builds
+// named subsets). Intended for tests and scaled-down runs; artifacts keyed
+// to full-catalog expectations will shrink accordingly.
+func WithLabProfiles(profiles []*device.Profile) Option {
+	return func(s *Study) { s.labProfiles = profiles }
+}
+
 // WithoutSharedPrereqs disables the shared-prerequisite memoization: every
 // PassiveIndex/PassiveGraph/ExtractedIdentifiers call rebuilds from scratch
 // instead of reusing a cached result. Output is identical either way (the
@@ -199,7 +223,12 @@ func (s *Study) RunPassive() {
 		return
 	}
 	s.phase("passive", func() {
-		s.Lab = testbed.New(s.Seed, testbed.WithChaos(s.ChaosPlan))
+		profiles := s.labProfiles
+		if profiles == nil {
+			profiles = device.Catalog()
+		}
+		s.Lab = testbed.NewWith(s.Seed, profiles,
+			testbed.WithChaos(s.ChaosPlan), testbed.WithResidents(s.ResidentPlan))
 		// The tracer must be on the scheduler before any event fires.
 		s.Lab.Telemetry().Tracer = s.Trace
 		s.Lab.Start()
@@ -209,8 +238,14 @@ func (s *Study) RunPassive() {
 		hpHost := s.Lab.AddHost(230, netx.MAC{0x02, 0x40, 0x00, 0x00, 0x02, 0x30})
 		s.Honeypot.Attach(hpHost)
 
-		s.Lab.RunIdle(s.IdleDuration)
-		s.Lab.Interact(s.Interactions)
+		if s.ResidentPlan.Enabled() {
+			// Residents schedule their own interactions on the virtual
+			// clock; the passive window is their whole multi-day run.
+			s.Lab.RunIdle(s.ResidentPlan.Duration())
+		} else {
+			s.Lab.RunIdle(s.IdleDuration)
+			s.Lab.Interact(s.Interactions)
+		}
 	})
 	s.passiveDone = true
 	s.passiveLen = s.Lab.Capture.Len()

@@ -163,6 +163,8 @@ var registry = []Artifact{
 		Fn: (*Study).HoneypotReport, Aliases: []string{"honey"}},
 	{Name: "chaos", PaperRef: "fault injection", Kind: "section", Needs: NeedPassive,
 		Fn: (*Study).ChaosReport, Aliases: []string{"faults", "fault-injection"}},
+	{Name: "diurnal", PaperRef: "diurnal", Kind: "section", Needs: NeedPassive,
+		Fn: (*Study).Diurnal, Aliases: []string{"hours", "hour-of-day"}},
 }
 
 // Artifacts returns the registry in paper order. The slice is a copy;
